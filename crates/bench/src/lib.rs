@@ -1,0 +1,1 @@
+//! Benchmark harness support (targets live in benches/).

@@ -1,0 +1,100 @@
+//! CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320).
+//!
+//! Kafka frames every stored message as `[length][crc][attributes][payload]`
+//! so a broker restart can detect a torn tail write and truncate the log to
+//! the last valid message; `sqlstore`'s binlog uses the same framing. This
+//! is the standard table-driven byte-at-a-time implementation.
+
+use std::sync::OnceLock;
+
+fn table() -> &'static [u32; 256] {
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        for (i, entry) in table.iter_mut().enumerate() {
+            let mut crc = i as u32;
+            for _ in 0..8 {
+                crc = if crc & 1 != 0 {
+                    (crc >> 1) ^ 0xEDB8_8320
+                } else {
+                    crc >> 1
+                };
+            }
+            *entry = crc;
+        }
+        table
+    })
+}
+
+/// Computes the CRC-32 of `data` in one shot.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut hasher = Crc32::new();
+    hasher.update(data);
+    hasher.finalize()
+}
+
+/// Incremental CRC-32 hasher for multi-part frames.
+#[derive(Debug, Clone)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Crc32 {
+    /// Creates a hasher in the initial state.
+    pub fn new() -> Self {
+        Crc32 { state: 0xFFFF_FFFF }
+    }
+
+    /// Feeds `data` into the checksum.
+    pub fn update(&mut self, data: &[u8]) {
+        let table = table();
+        for &byte in data {
+            let idx = ((self.state ^ u32::from(byte)) & 0xff) as usize;
+            self.state = (self.state >> 8) ^ table[idx];
+        }
+    }
+
+    /// Returns the final checksum value.
+    pub fn finalize(&self) -> u32 {
+        self.state ^ 0xFFFF_FFFF
+    }
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn check_vector() {
+        // The canonical CRC-32/ISO-HDLC check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn incremental_matches_one_shot() {
+        let data = b"the quick brown fox jumps over the lazy dog";
+        let mut h = Crc32::new();
+        h.update(&data[..10]);
+        h.update(&data[10..]);
+        assert_eq!(h.finalize(), crc32(data));
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let mut frame = b"kafka message payload".to_vec();
+        let good = crc32(&frame);
+        frame[5] ^= 0x01;
+        assert_ne!(crc32(&frame), good);
+    }
+}

@@ -1,0 +1,231 @@
+//! Latency histogram with logarithmic buckets.
+//!
+//! The paper reports its deployments in latency terms — "average latency of
+//! 3 ms", "average latency of less than 1 ms", "sub-milliseconds" — so the
+//! benchmark harness needs percentile-accurate recording that is cheap
+//! enough to sit on the hot path. This is an HDR-style histogram: values
+//! are bucketed by (exponent, sub-bucket) so relative error is bounded
+//! (~1.6% with 64 sub-buckets) while memory stays a few KiB.
+
+use std::time::Duration;
+
+const SUB_BUCKET_BITS: u32 = 6;
+const SUB_BUCKETS: usize = 1 << SUB_BUCKET_BITS; // 64
+const EXPONENTS: usize = 64 - SUB_BUCKET_BITS as usize;
+
+/// Fixed-memory log-bucketed histogram of `u64` values (nanoseconds by
+/// convention, but unit-agnostic).
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    total: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            // exponent groups 0 (values < 64) plus one per exponent 6..=63
+            counts: vec![0; (EXPONENTS + 1) * SUB_BUCKETS],
+            total: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    fn bucket_of(value: u64) -> usize {
+        if value < SUB_BUCKETS as u64 {
+            return value as usize;
+        }
+        let exponent = 63 - value.leading_zeros() as usize; // >= SUB_BUCKET_BITS
+        let shift = exponent - SUB_BUCKET_BITS as usize;
+        let sub = ((value >> shift) as usize) & (SUB_BUCKETS - 1);
+        (exponent - SUB_BUCKET_BITS as usize + 1) * SUB_BUCKETS + sub
+    }
+
+    /// Representative (lower-bound) value of bucket `index`.
+    fn bucket_floor(index: usize) -> u64 {
+        let exp_group = index / SUB_BUCKETS;
+        let sub = (index % SUB_BUCKETS) as u64;
+        if exp_group == 0 {
+            sub
+        } else {
+            let exponent = exp_group - 1 + SUB_BUCKET_BITS as usize;
+            let shift = exponent - SUB_BUCKET_BITS as usize;
+            (1u64 << exponent) | (sub << shift)
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, value: u64) {
+        self.counts[Self::bucket_of(value)] += 1;
+        self.total += 1;
+        self.sum += u128::from(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Records a [`Duration`] in nanoseconds.
+    pub fn record_duration(&mut self, d: Duration) {
+        self.record(d.as_nanos().min(u128::from(u64::MAX)) as u64);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Arithmetic mean of observations (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// Smallest observation (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.total == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observation.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Value at quantile `q` in [0, 1] (bucket lower bound; 0 when empty).
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Self::bucket_floor(i);
+            }
+        }
+        self.max
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+        if other.total > 0 {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+    }
+
+    /// One-line summary in milliseconds, assuming nanosecond observations —
+    /// the format EXPERIMENTS.md records.
+    pub fn summary_ms(&self) -> String {
+        format!(
+            "n={} mean={:.3}ms p50={:.3}ms p99={:.3}ms max={:.3}ms",
+            self.total,
+            self.mean() / 1e6,
+            self.quantile(0.5) as f64 / 1e6,
+            self.quantile(0.99) as f64 / 1e6,
+            self.max as f64 / 1e6,
+        )
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile(0.5), 0);
+    }
+
+    #[test]
+    fn exact_small_values() {
+        let mut h = Histogram::new();
+        for v in 0..SUB_BUCKETS as u64 {
+            h.record(v);
+        }
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 63);
+        // values < 64 are stored exactly
+        assert_eq!(h.quantile(1.0), 63);
+    }
+
+    #[test]
+    fn relative_error_bounded() {
+        let mut h = Histogram::new();
+        let value = 1_234_567u64;
+        h.record(value);
+        let q = h.quantile(0.5);
+        let err = (value as f64 - q as f64).abs() / value as f64;
+        assert!(err < 0.032, "relative error {err} too large (got {q})");
+    }
+
+    #[test]
+    fn quantiles_ordered() {
+        let mut h = Histogram::new();
+        for i in 1..=10_000u64 {
+            h.record(i * 1000);
+        }
+        let p50 = h.quantile(0.5);
+        let p90 = h.quantile(0.9);
+        let p99 = h.quantile(0.99);
+        assert!(p50 <= p90 && p90 <= p99);
+        // p50 of 1k..10M uniform should be near 5M.
+        assert!((4_500_000..=5_500_000).contains(&p50), "p50={p50}");
+    }
+
+    #[test]
+    fn mean_is_exact() {
+        let mut h = Histogram::new();
+        for v in [10u64, 20, 30] {
+            h.record(v);
+        }
+        assert_eq!(h.mean(), 20.0);
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(100);
+        b.record(200);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.min(), 100);
+        assert_eq!(a.max(), 200);
+    }
+
+    #[test]
+    fn huge_values_do_not_panic() {
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX - 1);
+        assert_eq!(h.count(), 2);
+        assert!(h.quantile(0.5) > u64::MAX / 2);
+    }
+}

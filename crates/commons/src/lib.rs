@@ -1,0 +1,44 @@
+//! # li-commons
+//!
+//! Shared substrates for the reproduction of *Data Infrastructure at
+//! LinkedIn* (ICDE 2012). Every system in the paper — Voldemort, Databus,
+//! Espresso, Kafka — leans on a common set of distributed-systems
+//! primitives. This crate provides them, implemented from scratch:
+//!
+//! * [`clock`] — vector clocks (\[LAM78\] in the paper) used by Voldemort to
+//!   version tuples and detect concurrent writes.
+//! * [`ring`] — the non-order-preserving consistent hash ring with fixed
+//!   logical partitions and zone-aware replica selection.
+//! * [`schema`] — an Avro-analog self-describing binary record codec with
+//!   writer-schema versioning and compatible evolution, used by Databus and
+//!   Espresso for source-independent change serialization.
+//! * [`compress`] — an LZ77-family compressor used by Kafka producers to
+//!   reproduce the paper's ~2/3 bandwidth-saving claim.
+//! * [`failure`] — the success-ratio failure detector with asynchronous
+//!   recovery probing described in the Voldemort section.
+//! * [`sim`] — a deterministic in-process cluster harness: virtual clock,
+//!   lossy/partitionable network, crashable nodes. All protocol state
+//!   machines are exercised through it.
+//! * [`md5`], [`crc32`], [`fnv`], [`varint`] — the low-level codecs the
+//!   paper's systems assume (MD5-keyed read-only indexes, CRC-framed log
+//!   entries, hash routing, compact integer framing).
+//! * [`hist`] — a latency histogram for the benchmark harness.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bufio;
+pub mod clock;
+pub mod compress;
+pub mod crc32;
+pub mod failure;
+pub mod fnv;
+pub mod hist;
+pub mod md5;
+pub mod ring;
+pub mod schema;
+pub mod sim;
+pub mod varint;
+
+pub use clock::{Occurred, VectorClock, Versioned};
+pub use ring::{HashRing, NodeId, PartitionId, ZoneId};

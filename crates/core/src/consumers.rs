@@ -1,0 +1,159 @@
+//! Databus consumers that maintain derived data systems — the subscriber
+//! side of the paper's replication layer ("the social graph, search, and
+//! recommendation systems subscribe to the feed of profile changes",
+//! §I.A).
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+use li_databus::{ConsumerCallback, Window};
+use li_espresso::InvertedIndex;
+use li_sqlstore::{Op, RowKey};
+use li_voldemort::StoreClient;
+
+/// Keeps the two Company Follow Voldemort stores in sync with the primary
+/// database — §II.C: "two stores to maintain a cache-like interface on top
+/// of our primary storage Oracle ... Both stores are fed by a Databus
+/// relay and are populated whenever a user follows a new company."
+pub struct CompanyFollowCacher {
+    member_store: StoreClient,
+    company_store: StoreClient,
+}
+
+impl CompanyFollowCacher {
+    /// Wires the cacher to the two stores.
+    pub fn new(member_store: StoreClient, company_store: StoreClient) -> Self {
+        CompanyFollowCacher {
+            member_store,
+            company_store,
+        }
+    }
+
+    fn apply_to_store(
+        store: &StoreClient,
+        key: &[u8],
+        value: Option<Bytes>,
+    ) -> Result<(), String> {
+        match value {
+            Some(value) => store
+                .apply_update(key, 8, &|_siblings| Some(value.clone()))
+                .map(|_| ())
+                .map_err(|e| e.to_string()),
+            None => {
+                // Cache delete: drop all current versions.
+                let siblings = store.get(key).map_err(|e| e.to_string())?;
+                if let Some(latest) = siblings.first() {
+                    store
+                        .delete(key, &latest.clock)
+                        .map(|_| ())
+                        .map_err(|e| e.to_string())?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl ConsumerCallback for CompanyFollowCacher {
+    fn on_window(&self, window: &Window) -> Result<(), String> {
+        for change in &window.changes {
+            let key = change.key.to_string().into_bytes();
+            let value = match &change.op {
+                Op::Put(row) => Some(row.value.clone()),
+                Op::Delete => None,
+            };
+            match change.table.as_str() {
+                "member_follows" => {
+                    Self::apply_to_store(&self.member_store, &key, value)?;
+                }
+                "company_followers" => {
+                    Self::apply_to_store(&self.company_store, &key, value)?;
+                }
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A people-search indexer fed by profile changes (the People Search Index
+/// subscriber of §III.A), built on the same inverted-index substrate as
+/// Espresso's local indexes.
+#[derive(Default)]
+pub struct SearchIndexer {
+    index: Mutex<InvertedIndex>,
+}
+
+impl SearchIndexer {
+    /// Creates an empty indexer.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Members whose profile text matches every token of `term`.
+    pub fn search(&self, term: &str) -> Vec<String> {
+        self.index
+            .lock()
+            .query("profile", term, None)
+            .into_iter()
+            .map(|key| key.to_string())
+            .collect()
+    }
+
+    /// Number of indexed profiles.
+    pub fn indexed_count(&self) -> usize {
+        self.index.lock().doc_count()
+    }
+}
+
+impl ConsumerCallback for SearchIndexer {
+    fn on_window(&self, window: &Window) -> Result<(), String> {
+        for change in &window.changes {
+            if change.table != "member_profile" {
+                continue;
+            }
+            match &change.op {
+                Op::Put(row) => {
+                    let text = String::from_utf8_lossy(&row.value).into_owned();
+                    self.index.lock().index_document(
+                        &change.key,
+                        [(
+                            "profile",
+                            &li_commons::schema::Value::Str(text),
+                        )],
+                    );
+                }
+                Op::Delete => self.index.lock().remove_document(&change.key),
+            }
+        }
+        Ok(())
+    }
+
+    fn on_snapshot_start(&self) {
+        *self.index.lock() = InvertedIndex::new();
+    }
+}
+
+/// Helper: parse a comma-separated id list value (Company Follow store
+/// format).
+pub fn parse_id_list(value: &[u8]) -> Vec<u64> {
+    std::str::from_utf8(value)
+        .ok()
+        .map(|text| {
+            text.split(',')
+                .filter_map(|t| t.trim().parse().ok())
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+/// Helper: the row key used for members in the primary store.
+pub fn member_row_key(member: u64) -> RowKey {
+    RowKey::single(format!("member:{member:09}"))
+}
+
+/// Helper: the row key used for companies in the primary store.
+pub fn company_row_key(company: u64) -> RowKey {
+    RowKey::single(format!("company:{company:07}"))
+}

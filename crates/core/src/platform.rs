@@ -1,0 +1,318 @@
+//! The Figure I.1 assembly: primary store → Databus → derived systems;
+//! activity events → Kafka → online consumers + offline warehouse.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use li_databus::{BootstrapServer, DatabusClient, LogShippingAdapter, Relay};
+use li_kafka::audit::{AuditedProducer, AUDIT_TOPIC};
+use li_kafka::mirror::{MirrorMaker, WarehouseLoader};
+use li_kafka::{KafkaCluster, Producer, SimpleConsumer};
+use li_sqlstore::Database;
+use li_voldemort::{StoreDef, VoldemortCluster};
+
+use crate::consumers::{
+    company_row_key, member_row_key, parse_id_list, CompanyFollowCacher, SearchIndexer,
+};
+
+/// Name of the activity-event topic.
+pub const ACTIVITY_TOPIC: &str = "activity";
+
+/// Errors from platform operations (stringly typed at this altitude: the
+/// facade aggregates seven subsystem error types).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlatformError(pub String);
+
+impl std::fmt::Display for PlatformError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "platform error: {}", self.0)
+    }
+}
+
+impl std::error::Error for PlatformError {}
+
+fn wrap<E: std::fmt::Display>(e: E) -> PlatformError {
+    PlatformError(e.to_string())
+}
+
+/// The assembled site backend.
+pub struct DataPlatform {
+    /// The Oracle-analog primary database (source of truth).
+    pub primary: Arc<Database>,
+    /// The Databus relay capturing the primary's changes.
+    pub relay: Arc<Relay>,
+    /// Long look-back storage for fallen-behind/new subscribers.
+    pub bootstrap: Arc<BootstrapServer>,
+    /// The Voldemort cluster holding cache-like derived stores.
+    pub voldemort: Arc<VoldemortCluster>,
+    /// Live (user-facing datacenter) Kafka cluster.
+    pub kafka_live: Arc<KafkaCluster>,
+    /// Offline (analytics datacenter) Kafka cluster.
+    pub kafka_offline: Arc<KafkaCluster>,
+    /// The people-search index subscriber.
+    pub search: Arc<SearchIndexer>,
+
+    follow_cacher: DatabusClient,
+    search_client: DatabusClient,
+    event_producer: AuditedProducer,
+    mirror: MirrorMaker,
+    warehouse: WarehouseLoader,
+}
+
+impl DataPlatform {
+    /// Builds the platform: `voldemort_nodes` cache nodes and
+    /// `kafka_brokers` per Kafka cluster.
+    pub fn new(voldemort_nodes: u16, kafka_brokers: u16) -> Result<Self, PlatformError> {
+        // Primary store (Oracle analog) with the site's tables.
+        let primary = Arc::new(Database::new("primary"));
+        for table in ["member_follows", "company_followers", "member_profile"] {
+            primary.create_table(table).map_err(wrap)?;
+        }
+
+        // Databus tier: relay captures the primary semi-synchronously;
+        // bootstrap follows the relay.
+        let relay = Arc::new(Relay::new("primary", 32 << 20));
+        LogShippingAdapter::attach(&primary, relay.clone());
+        let bootstrap = Arc::new(BootstrapServer::new());
+
+        // Voldemort cache stores for Company Follow (§II.C).
+        let voldemort = VoldemortCluster::new(64, voldemort_nodes).map_err(wrap)?;
+        voldemort
+            .add_store(StoreDef::read_write("member-follows"))
+            .map_err(wrap)?;
+        voldemort
+            .add_store(StoreDef::read_write("company-followers"))
+            .map_err(wrap)?;
+
+        let follow_cacher = DatabusClient::new(
+            relay.clone(),
+            Some(bootstrap.clone()),
+            Arc::new(CompanyFollowCacher::new(
+                voldemort.client("member-follows").map_err(wrap)?,
+                voldemort.client("company-followers").map_err(wrap)?,
+            )),
+        );
+
+        let search = SearchIndexer::new();
+        let search_client =
+            DatabusClient::new(relay.clone(), Some(bootstrap.clone()), search.clone());
+
+        // Kafka tier: live cluster + offline mirror + warehouse loader.
+        let kafka_live = KafkaCluster::new(kafka_brokers).map_err(wrap)?;
+        let kafka_offline = KafkaCluster::new(kafka_brokers).map_err(wrap)?;
+        for cluster in [&kafka_live, &kafka_offline] {
+            cluster.create_topic(ACTIVITY_TOPIC, 8).map_err(wrap)?;
+            cluster.create_topic(AUDIT_TOPIC, 1).map_err(wrap)?;
+        }
+        let event_producer = AuditedProducer::new(
+            Producer::new(kafka_live.clone()).with_batch_size(16),
+            &kafka_live,
+            "frontend-1",
+            Duration::from_secs(60),
+        );
+        let mirror = MirrorMaker::new(
+            kafka_live.clone(),
+            kafka_offline.clone(),
+            [ACTIVITY_TOPIC, AUDIT_TOPIC],
+        )
+        .map_err(wrap)?;
+        let warehouse = WarehouseLoader::new(
+            kafka_offline.clone(),
+            [ACTIVITY_TOPIC],
+            Duration::from_secs(10),
+        );
+
+        Ok(DataPlatform {
+            primary,
+            relay,
+            bootstrap,
+            voldemort,
+            kafka_live,
+            kafka_offline,
+            search,
+            follow_cacher,
+            search_client,
+            event_producer,
+            mirror,
+            warehouse,
+        })
+    }
+
+    /// A user follows a company: one transaction against the *primary*
+    /// updating both association rows. Derived stores learn about it via
+    /// Databus — never written directly.
+    pub fn follow_company(&self, member: u64, company: u64) -> Result<(), PlatformError> {
+        let member_key = member_row_key(member);
+        let company_key = company_row_key(company);
+        let mut followed = self
+            .primary
+            .get("member_follows", &member_key)
+            .map_err(wrap)?
+            .map(|row| parse_id_list(&row.value))
+            .unwrap_or_default();
+        let mut followers = self
+            .primary
+            .get("company_followers", &company_key)
+            .map_err(wrap)?
+            .map(|row| parse_id_list(&row.value))
+            .unwrap_or_default();
+        if !followed.contains(&company) {
+            followed.push(company);
+        }
+        if !followers.contains(&member) {
+            followers.push(member);
+        }
+        let join = |ids: &[u64]| {
+            ids.iter()
+                .map(u64::to_string)
+                .collect::<Vec<_>>()
+                .join(",")
+                .into_bytes()
+        };
+        let mut txn = self.primary.begin();
+        txn.put("member_follows", member_key, join(&followed), 1);
+        txn.put("company_followers", company_key, join(&followers), 1);
+        self.primary.commit(txn).map_err(wrap)?;
+        Ok(())
+    }
+
+    /// Updates a member's profile text (feeds the search index).
+    pub fn update_profile(&self, member: u64, text: &str) -> Result<(), PlatformError> {
+        self.primary
+            .put_one(
+                "member_profile",
+                member_row_key(member),
+                text.as_bytes().to_vec(),
+                1,
+            )
+            .map_err(wrap)?;
+        Ok(())
+    }
+
+    /// Cache read path: companies a member follows (from Voldemort).
+    pub fn followed_companies(&self, member: u64) -> Result<Vec<u64>, PlatformError> {
+        let client = self.voldemort.client("member-follows").map_err(wrap)?;
+        let key = member_row_key(member).to_string().into_bytes();
+        let versions = client.get(&key).map_err(wrap)?;
+        Ok(versions
+            .first()
+            .map(|v| parse_id_list(&v.value))
+            .unwrap_or_default())
+    }
+
+    /// Cache read path: a company's followers (from Voldemort).
+    pub fn followers(&self, company: u64) -> Result<Vec<u64>, PlatformError> {
+        let client = self.voldemort.client("company-followers").map_err(wrap)?;
+        let key = company_row_key(company).to_string().into_bytes();
+        let versions = client.get(&key).map_err(wrap)?;
+        Ok(versions
+            .first()
+            .map(|v| parse_id_list(&v.value))
+            .unwrap_or_default())
+    }
+
+    /// Publishes an activity event to the live Kafka cluster (audited).
+    pub fn track(&self, event: &str) -> Result<(), PlatformError> {
+        self.event_producer.send(ACTIVITY_TOPIC, event).map_err(wrap)
+    }
+
+    /// Opens an online consumer over one activity partition (newsfeed,
+    /// security, relevance — the §V.D online subscribers).
+    pub fn activity_consumer(&self, partition: u32) -> Result<SimpleConsumer, PlatformError> {
+        SimpleConsumer::new(self.kafka_live.clone(), ACTIVITY_TOPIC, partition).map_err(wrap)
+    }
+
+    /// Rows loaded into the warehouse so far.
+    pub fn warehouse_rows(&self) -> usize {
+        self.warehouse.rows().len()
+    }
+
+    /// One pump of every asynchronous pipeline stage: Databus subscribers
+    /// catch up, the bootstrap server follows the relay, producers flush,
+    /// the mirror copies, and the warehouse loader ticks. Production runs
+    /// these continuously; examples and tests call it at interesting
+    /// moments (determinism over threads).
+    pub fn pump(&self) -> Result<(), PlatformError> {
+        self.follow_cacher.catch_up().map_err(wrap)?;
+        self.search_client.catch_up().map_err(wrap)?;
+        self.bootstrap.catch_up_from(&self.relay).map_err(wrap)?;
+        self.bootstrap.apply_log();
+        self.event_producer.publish_audit_and_flush().map_err(wrap)?;
+        self.mirror.pump().map_err(wrap)?;
+        self.warehouse.tick().map_err(wrap)?;
+        Ok(())
+    }
+
+    /// Forces a warehouse load regardless of its period (tests).
+    pub fn force_warehouse_load(&self) -> Result<usize, PlatformError> {
+        self.warehouse.run_load().map_err(wrap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn follow_flow_reaches_caches() {
+        let platform = DataPlatform::new(3, 1).unwrap();
+        platform.follow_company(1, 100).unwrap();
+        platform.follow_company(1, 200).unwrap();
+        platform.follow_company(2, 100).unwrap();
+        // Caches are async: empty until the pipeline pumps.
+        assert!(platform.followed_companies(1).unwrap().is_empty());
+        platform.pump().unwrap();
+        assert_eq!(platform.followed_companies(1).unwrap(), vec![100, 200]);
+        assert_eq!(platform.followers(100).unwrap(), vec![1, 2]);
+        assert_eq!(platform.followers(999).unwrap(), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn inconsistent_caches_are_acceptable_and_converge() {
+        // "Since it is used as cache, having inconsistent values across
+        // stores is not a problem" — but they converge after the pipeline
+        // catches up.
+        let platform = DataPlatform::new(2, 1).unwrap();
+        platform.follow_company(7, 42).unwrap();
+        platform.pump().unwrap();
+        platform.follow_company(8, 42).unwrap();
+        // Before the pump, store 2 is stale.
+        assert_eq!(platform.followers(42).unwrap(), vec![7]);
+        platform.pump().unwrap();
+        assert_eq!(platform.followers(42).unwrap(), vec![7, 8]);
+    }
+
+    #[test]
+    fn profile_updates_feed_search() {
+        let platform = DataPlatform::new(2, 1).unwrap();
+        platform.update_profile(1, "distributed systems engineer").unwrap();
+        platform.update_profile(2, "sales leader enterprise").unwrap();
+        platform.pump().unwrap();
+        assert_eq!(platform.search.search("distributed systems"), vec!["member:000000001"]);
+        assert_eq!(platform.search.indexed_count(), 2);
+        // Update re-indexes.
+        platform.update_profile(1, "machine learning researcher").unwrap();
+        platform.pump().unwrap();
+        assert!(platform.search.search("distributed").is_empty());
+        assert_eq!(platform.search.search("machine learning"), vec!["member:000000001"]);
+    }
+
+    #[test]
+    fn events_flow_to_online_consumer_and_warehouse() {
+        let platform = DataPlatform::new(2, 2).unwrap();
+        for i in 0..32 {
+            platform.track(&format!("page_view member={i}")).unwrap();
+        }
+        platform.pump().unwrap();
+        // Online path: all 32 events readable from the live cluster.
+        let mut online_total = 0;
+        for p in 0..8 {
+            let mut consumer = platform.activity_consumer(p).unwrap();
+            online_total += consumer.poll().unwrap().len();
+        }
+        assert_eq!(online_total, 32);
+        // Offline path: mirror + forced load lands the same 32.
+        assert_eq!(platform.force_warehouse_load().unwrap(), 32);
+        assert_eq!(platform.warehouse_rows(), 32);
+    }
+}

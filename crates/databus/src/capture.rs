@@ -1,0 +1,146 @@
+//! Capture adapters: how changes get from the source database into a relay.
+//!
+//! "At LinkedIn, we employ two capture approaches, triggers or consuming
+//! from the database replication log" (§III.C). Both adapters speak to the
+//! `li-sqlstore` substrate, which exposes exactly the two interfaces the
+//! real databases do: a registrable commit trigger and a replayable binlog.
+
+use std::sync::Arc;
+
+use li_sqlstore::{Database, Scn, TriggerFn};
+use parking_lot::Mutex;
+
+use crate::relay::{Relay, RelayError};
+
+/// Log-shipping capture: registers the relay as the database's
+/// semi-synchronous shipper, so every commit lands in the relay before it
+/// is acknowledged (the MySQL-replication path; also what Espresso uses for
+/// durability).
+pub struct LogShippingAdapter;
+
+impl LogShippingAdapter {
+    /// Wires `relay` as `db`'s semi-sync shipping destination.
+    pub fn attach(db: &Database, relay: Arc<Relay>) {
+        db.set_shipper(relay);
+    }
+}
+
+/// Polling capture (the trigger/log-mining path for the Oracle analog):
+/// periodically drains `binlog_after(last_seen)` into the relay. Also
+/// installable as a commit trigger for push-style delivery.
+pub struct PollingAdapter {
+    relay: Arc<Relay>,
+    last_scn: Mutex<Scn>,
+}
+
+impl PollingAdapter {
+    /// Creates an adapter that feeds `relay`, starting after `from_scn`.
+    pub fn new(relay: Arc<Relay>, from_scn: Scn) -> Self {
+        PollingAdapter {
+            relay,
+            last_scn: Mutex::new(from_scn),
+        }
+    }
+
+    /// Pulls any new committed transactions from `db` into the relay.
+    /// Returns the number of windows shipped.
+    pub fn poll(&self, db: &Database) -> Result<usize, RelayError> {
+        let mut last = self.last_scn.lock();
+        let entries = db.binlog_after(*last);
+        let mut shipped = 0;
+        for entry in entries {
+            self.relay.ingest_binlog(db.name(), &entry)?;
+            *last = entry.scn;
+            shipped += 1;
+        }
+        Ok(shipped)
+    }
+
+    /// The SCN up to which the source has been captured.
+    pub fn last_scn(&self) -> Scn {
+        *self.last_scn.lock()
+    }
+
+    /// Builds a commit trigger that pushes every committed entry into the
+    /// relay (the paper's trigger-based capture). Register the result with
+    /// [`Database::register_trigger`].
+    pub fn as_trigger(relay: Arc<Relay>, source_db: impl Into<String>) -> TriggerFn {
+        let source_db = source_db.into();
+        Arc::new(move |entry| {
+            // Trigger capture is best-effort push; a full relay surfaces
+            // when the poller reconciles. Ignore duplicate/ordering errors
+            // here (poll() is the authoritative path).
+            let _ = relay.ingest_binlog(&source_db, entry);
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::ServerFilter;
+    use li_sqlstore::RowKey;
+
+    fn source() -> Database {
+        let db = Database::new("primary");
+        db.create_table("member").unwrap();
+        db
+    }
+
+    #[test]
+    fn log_shipping_is_semi_sync() {
+        let db = source();
+        let relay = Arc::new(Relay::new("primary", 1 << 20));
+        LogShippingAdapter::attach(&db, relay.clone());
+        db.put_one("member", RowKey::single("1"), &b"v"[..], 1).unwrap();
+        // The commit only returned after the relay had the window.
+        assert_eq!(relay.newest_scn(), 1);
+        let windows = relay.events_after(0, 10, &ServerFilter::all()).unwrap();
+        assert_eq!(windows.len(), 1);
+        assert_eq!(windows[0].changes.len(), 1);
+    }
+
+    #[test]
+    fn polling_adapter_drains_incrementally() {
+        let db = source();
+        let relay = Arc::new(Relay::new("primary", 1 << 20));
+        let adapter = PollingAdapter::new(relay.clone(), 0);
+
+        for i in 0..5 {
+            db.put_one("member", RowKey::single(format!("{i}")), &b"v"[..], 1).unwrap();
+        }
+        assert_eq!(adapter.poll(&db).unwrap(), 5);
+        assert_eq!(adapter.poll(&db).unwrap(), 0, "nothing new");
+        db.put_one("member", RowKey::single("9"), &b"v"[..], 1).unwrap();
+        assert_eq!(adapter.poll(&db).unwrap(), 1);
+        assert_eq!(adapter.last_scn(), 6);
+        assert_eq!(relay.newest_scn(), 6);
+    }
+
+    #[test]
+    fn trigger_capture_pushes_commits() {
+        let db = source();
+        let relay = Arc::new(Relay::new("primary", 1 << 20));
+        db.register_trigger(PollingAdapter::as_trigger(relay.clone(), "primary"));
+        let mut txn = db.begin();
+        txn.put("member", RowKey::single("1"), &b"a"[..], 1);
+        txn.put("member", RowKey::single("2"), &b"b"[..], 1);
+        db.commit(txn).unwrap();
+        let windows = relay.events_after(0, 10, &ServerFilter::all()).unwrap();
+        assert_eq!(windows.len(), 1);
+        assert_eq!(windows[0].changes.len(), 2, "txn boundary preserved");
+    }
+
+    #[test]
+    fn polling_after_trigger_does_not_duplicate() {
+        let db = source();
+        let relay = Arc::new(Relay::new("primary", 1 << 20));
+        db.register_trigger(PollingAdapter::as_trigger(relay.clone(), "primary"));
+        let adapter = PollingAdapter::new(relay.clone(), 0);
+        db.put_one("member", RowKey::single("1"), &b"v"[..], 1).unwrap();
+        // Poll sees scn 1 already relayed; relay rejects the out-of-order
+        // duplicate internally and the stream stays clean.
+        let _ = adapter.poll(&db);
+        assert_eq!(relay.window_count(), 1);
+    }
+}

@@ -1,0 +1,400 @@
+//! The relay: in-memory circular event buffer with an SCN index.
+//!
+//! "The serialized events are stored in a circular in-memory buffer that is
+//! used to serve events to the Databus clients. ... The relay with the
+//! in-memory circular buffer provides: default serving path with very low
+//! latency (<1 ms); efficient buffering ...; index structures to
+//! efficiently serve to Databus clients events from a given sequence
+//! number S; server-side filtering ...; support of hundreds of consumers
+//! per relay with no additional impact on the source database" (§III.C).
+//!
+//! Windows are evicted whole from the head when the buffer exceeds its
+//! byte budget; a client requesting an SCN older than the buffered tail
+//! gets [`RelayError::ScnNotFound`] and falls back to the bootstrap
+//! server. Because windows are stored in SCN order and SCNs are dense per
+//! source, locating a start SCN is a binary search (the paper's "index
+//! structures").
+
+use parking_lot::Mutex;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::collections::VecDeque;
+
+use li_sqlstore::{BinlogEntry, Scn, ShipError, Shipper};
+
+use crate::event::{ServerFilter, Window};
+
+/// Errors from relay serving.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RelayError {
+    /// The requested SCN has been evicted from the circular buffer; the
+    /// client must bootstrap. Carries the oldest SCN still buffered.
+    ScnNotFound {
+        /// SCN requested by the client.
+        requested: Scn,
+        /// Oldest SCN still available in the buffer (0 when empty).
+        oldest: Scn,
+    },
+    /// Events from one source must arrive in dense SCN order.
+    OutOfOrder {
+        /// SCN that arrived.
+        got: Scn,
+        /// SCN that was expected.
+        expected: Scn,
+    },
+}
+
+impl fmt::Display for RelayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelayError::ScnNotFound { requested, oldest } => {
+                write!(f, "scn {requested} evicted (oldest buffered: {oldest})")
+            }
+            RelayError::OutOfOrder { got, expected } => {
+                write!(f, "out-of-order scn {got}, expected {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RelayError {}
+
+#[derive(Debug, Default)]
+struct Buffer {
+    windows: VecDeque<Window>,
+    bytes: usize,
+}
+
+/// A Databus relay. Thread-safe; share via `Arc`. One relay buffers one
+/// source database's stream (the paper runs "multiple shared-nothing
+/// relays").
+pub struct Relay {
+    source_db: String,
+    max_bytes: usize,
+    buffer: Mutex<Buffer>,
+    /// Monotonic counters for the source-isolation experiment: how many
+    /// client reads the relay absorbed (that never touched the source DB).
+    reads_served: AtomicU64,
+    windows_ingested: AtomicU64,
+}
+
+impl fmt::Debug for Relay {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let buffer = self.buffer.lock();
+        f.debug_struct("Relay")
+            .field("source_db", &self.source_db)
+            .field("buffered_windows", &buffer.windows.len())
+            .field("buffered_bytes", &buffer.bytes)
+            .finish()
+    }
+}
+
+impl Relay {
+    /// Creates a relay for `source_db` with a byte budget for the circular
+    /// buffer.
+    pub fn new(source_db: impl Into<String>, max_bytes: usize) -> Self {
+        Relay {
+            source_db: source_db.into(),
+            max_bytes: max_bytes.max(1),
+            buffer: Mutex::new(Buffer::default()),
+            reads_served: AtomicU64::new(0),
+            windows_ingested: AtomicU64::new(0),
+        }
+    }
+
+    /// The source database this relay captures.
+    pub fn source_db(&self) -> &str {
+        &self.source_db
+    }
+
+    /// Ingests one committed transaction. SCNs must be dense and
+    /// increasing.
+    pub fn ingest(&self, window: Window) -> Result<(), RelayError> {
+        let mut buffer = self.buffer.lock();
+        let expected = buffer.windows.back().map_or(window.scn, |w| w.scn + 1);
+        if window.scn != expected && !buffer.windows.is_empty() {
+            return Err(RelayError::OutOfOrder {
+                got: window.scn,
+                expected,
+            });
+        }
+        buffer.bytes += window.size_estimate();
+        buffer.windows.push_back(window);
+        // Evict whole windows from the head until within budget (always
+        // keep at least the newest window).
+        while buffer.bytes > self.max_bytes && buffer.windows.len() > 1 {
+            if let Some(evicted) = buffer.windows.pop_front() {
+                buffer.bytes -= evicted.size_estimate();
+            }
+        }
+        self.windows_ingested.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Ingests straight from a source binlog entry.
+    pub fn ingest_binlog(&self, source_db: &str, entry: &BinlogEntry) -> Result<(), RelayError> {
+        self.ingest(Window::from_binlog(source_db, entry))
+    }
+
+    /// Oldest SCN still buffered (0 when empty).
+    pub fn oldest_scn(&self) -> Scn {
+        self.buffer.lock().windows.front().map_or(0, |w| w.scn)
+    }
+
+    /// Newest SCN buffered (0 when empty).
+    pub fn newest_scn(&self) -> Scn {
+        self.buffer.lock().windows.back().map_or(0, |w| w.scn)
+    }
+
+    /// Number of buffered windows.
+    pub fn window_count(&self) -> usize {
+        self.buffer.lock().windows.len()
+    }
+
+    /// Approximate buffered bytes.
+    pub fn buffered_bytes(&self) -> usize {
+        self.buffer.lock().bytes
+    }
+
+    /// Serves up to `max_windows` windows with `scn > after_scn`, filtered
+    /// server-side. This is the default (hot) serving path.
+    ///
+    /// Fails with [`RelayError::ScnNotFound`] when `after_scn` predates the
+    /// buffer: the client has fallen behind and must bootstrap — serving it
+    /// from here would require going back to the source database, which the
+    /// relay exists to isolate.
+    pub fn events_after(
+        &self,
+        after_scn: Scn,
+        max_windows: usize,
+        filter: &ServerFilter,
+    ) -> Result<Vec<Window>, RelayError> {
+        let buffer = self.buffer.lock();
+        let oldest = buffer.windows.front().map_or(0, |w| w.scn);
+        let newest = buffer.windows.back().map_or(0, |w| w.scn);
+        if buffer.windows.is_empty() || after_scn >= newest {
+            // Fully caught up (or empty): nothing to serve.
+            if after_scn + 1 < oldest {
+                return Err(RelayError::ScnNotFound {
+                    requested: after_scn,
+                    oldest,
+                });
+            }
+            self.reads_served.fetch_add(1, Ordering::Relaxed);
+            return Ok(Vec::new());
+        }
+        if after_scn + 1 < oldest {
+            return Err(RelayError::ScnNotFound {
+                requested: after_scn,
+                oldest,
+            });
+        }
+        // Dense SCNs: the first window to serve sits at a computable index.
+        let start = (after_scn + 1 - oldest) as usize;
+        let out: Vec<Window> = buffer
+            .windows
+            .iter()
+            .skip(start)
+            .take(max_windows)
+            .map(|w| filter.apply(w))
+            .collect();
+        self.reads_served.fetch_add(1, Ordering::Relaxed);
+        Ok(out)
+    }
+
+    /// Chains this relay behind `upstream`: pulls every window this relay
+    /// does not yet have. "We typically run multiple shared-nothing relays
+    /// that are either connected directly to the database, or to other
+    /// relays to provide replicated availability of the change stream"
+    /// (§III.C). Returns windows copied.
+    pub fn chain_from(&self, upstream: &Relay) -> Result<usize, RelayError> {
+        let have = self.newest_scn();
+        let windows = upstream.events_after(have, usize::MAX, &ServerFilter::all())?;
+        let mut copied = 0;
+        for window in windows {
+            self.ingest(window)?;
+            copied += 1;
+        }
+        Ok(copied)
+    }
+
+    /// Number of client reads served from the buffer (source isolation
+    /// metric: these reads never reached the source database).
+    pub fn reads_served(&self) -> u64 {
+        self.reads_served.load(Ordering::Relaxed)
+    }
+
+    /// Number of windows ingested from the source (the *only* per-source
+    /// cost, independent of consumer count).
+    pub fn windows_ingested(&self) -> u64 {
+        self.windows_ingested.load(Ordering::Relaxed)
+    }
+}
+
+/// Relays are valid semi-synchronous shipping targets: Espresso commits
+/// block until the relay has the entry ("Each change is written to two
+/// places before being committed — the local MySQL binlog and the Databus
+/// relay", §IV.B).
+impl Shipper for Relay {
+    fn ship(&self, source: &str, entry: &BinlogEntry) -> Result<(), ShipError> {
+        self.ingest_binlog(source, entry)
+            .map_err(|e| ShipError(e.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use li_sqlstore::{Op, Row, RowChange, RowKey};
+
+    fn window(scn: Scn, payload: usize) -> Window {
+        Window {
+            source_db: "primary".into(),
+            scn,
+            timestamp: scn,
+            changes: vec![RowChange {
+                table: "member".into(),
+                key: RowKey::single(format!("k{scn}")),
+                op: Op::Put(Row::new(Bytes::from(vec![b'x'; payload]), 1)),
+            }],
+        }
+    }
+
+    #[test]
+    fn serves_from_scn_in_order() {
+        let relay = Relay::new("primary", 1 << 20);
+        for scn in 1..=10 {
+            relay.ingest(window(scn, 10)).unwrap();
+        }
+        let got = relay.events_after(3, 100, &ServerFilter::all()).unwrap();
+        assert_eq!(got.len(), 7);
+        assert_eq!(got[0].scn, 4);
+        assert_eq!(got.last().unwrap().scn, 10);
+        // max_windows respected.
+        let got = relay.events_after(0, 2, &ServerFilter::all()).unwrap();
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[1].scn, 2);
+    }
+
+    #[test]
+    fn caught_up_client_gets_empty() {
+        let relay = Relay::new("primary", 1 << 20);
+        relay.ingest(window(1, 10)).unwrap();
+        assert!(relay.events_after(1, 10, &ServerFilter::all()).unwrap().is_empty());
+        assert!(relay.events_after(5, 10, &ServerFilter::all()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn empty_relay_serves_nothing() {
+        let relay = Relay::new("primary", 1 << 20);
+        assert!(relay.events_after(0, 10, &ServerFilter::all()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn eviction_is_whole_windows_and_fallen_clients_error() {
+        // Budget for roughly 3 windows of ~1KB.
+        let relay = Relay::new("primary", 3200);
+        for scn in 1..=10 {
+            relay.ingest(window(scn, 1000)).unwrap();
+        }
+        assert!(relay.window_count() < 10, "old windows evicted");
+        let oldest = relay.oldest_scn();
+        assert!(oldest > 1);
+        // A client at SCN 0 has fallen off the buffer.
+        let err = relay.events_after(0, 10, &ServerFilter::all()).unwrap_err();
+        assert_eq!(
+            err,
+            RelayError::ScnNotFound {
+                requested: 0,
+                oldest
+            }
+        );
+        // A client exactly at the tail boundary is fine.
+        assert!(relay
+            .events_after(oldest - 1, 100, &ServerFilter::all())
+            .is_ok());
+    }
+
+    #[test]
+    fn out_of_order_ingest_rejected() {
+        let relay = Relay::new("primary", 1 << 20);
+        relay.ingest(window(1, 10)).unwrap();
+        relay.ingest(window(2, 10)).unwrap();
+        assert_eq!(
+            relay.ingest(window(2, 10)).unwrap_err(),
+            RelayError::OutOfOrder { got: 2, expected: 3 }
+        );
+        assert_eq!(
+            relay.ingest(window(5, 10)).unwrap_err(),
+            RelayError::OutOfOrder { got: 5, expected: 3 }
+        );
+    }
+
+    #[test]
+    fn relay_can_start_mid_stream() {
+        // A relay chained to another relay may start at an arbitrary SCN.
+        let relay = Relay::new("primary", 1 << 20);
+        relay.ingest(window(100, 10)).unwrap();
+        relay.ingest(window(101, 10)).unwrap();
+        assert_eq!(relay.oldest_scn(), 100);
+    }
+
+    #[test]
+    fn server_side_filter_applied() {
+        let relay = Relay::new("primary", 1 << 20);
+        relay.ingest(window(1, 10)).unwrap();
+        let filter = ServerFilter::for_tables(["company"]);
+        let got = relay.events_after(0, 10, &filter).unwrap();
+        assert_eq!(got.len(), 1, "window delivered for checkpointing");
+        assert!(got[0].is_empty(), "changes filtered out");
+    }
+
+    #[test]
+    fn chained_relay_provides_replicated_availability() {
+        let primary_relay = Relay::new("primary", 1 << 20);
+        for scn in 1..=20 {
+            primary_relay.ingest(window(scn, 10)).unwrap();
+        }
+        let replica_relay = Relay::new("primary", 1 << 20);
+        assert_eq!(replica_relay.chain_from(&primary_relay).unwrap(), 20);
+        assert_eq!(replica_relay.chain_from(&primary_relay).unwrap(), 0, "idempotent");
+        // The replica serves the identical stream.
+        let a = primary_relay.events_after(0, 100, &ServerFilter::all()).unwrap();
+        let b = replica_relay.events_after(0, 100, &ServerFilter::all()).unwrap();
+        assert_eq!(a, b);
+        // Incremental chaining keeps following.
+        primary_relay.ingest(window(21, 10)).unwrap();
+        assert_eq!(replica_relay.chain_from(&primary_relay).unwrap(), 1);
+        assert_eq!(replica_relay.newest_scn(), 21);
+    }
+
+    #[test]
+    fn chained_relay_that_falls_behind_errors_cleanly() {
+        let upstream = Relay::new("primary", 2048);
+        let downstream = Relay::new("primary", 1 << 20);
+        upstream.ingest(window(1, 10)).unwrap();
+        downstream.chain_from(&upstream).unwrap();
+        // Upstream evicts far past the downstream's position.
+        for scn in 2..=100 {
+            upstream.ingest(window(scn, 1000)).unwrap();
+        }
+        assert!(matches!(
+            downstream.chain_from(&upstream),
+            Err(RelayError::ScnNotFound { .. })
+        ));
+    }
+
+    #[test]
+    fn consumer_reads_do_not_touch_source() {
+        let relay = Relay::new("primary", 1 << 20);
+        for scn in 1..=5 {
+            relay.ingest(window(scn, 10)).unwrap();
+        }
+        for _ in 0..100 {
+            relay.events_after(0, 100, &ServerFilter::all()).unwrap();
+        }
+        assert_eq!(relay.windows_ingested(), 5, "source cost fixed");
+        assert_eq!(relay.reads_served(), 100, "fan-out absorbed by relay");
+    }
+}

@@ -1,0 +1,423 @@
+//! The full Espresso deployment: router + storage nodes + relays + Helix.
+//!
+//! Figure IV.1 wiring. The router "accepts HTTP requests, inspects the URI
+//! ... applies the routing function to the resource_id ... consults the
+//! routing table maintained by the cluster manager to determine which
+//! storage node is the master for the partition" — here the routing table
+//! is the Helix external view. Relays live in their own fault-tolerant
+//! tier: a storage-node crash does not take its relay's buffered changes
+//! down with it, which is exactly what makes the paper's failover safe
+//! ("if a storage node fails, the committed changes can still be found in
+//! the Databus relay and propagated to other storage nodes").
+
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::sync::{Arc, Weak};
+
+use li_commons::ring::{NodeId, PartitionId};
+use li_commons::schema::Record;
+use li_databus::Relay;
+use li_helix::{Controller, Participant, ReplicaState, ResourceConfig, Transition};
+use li_sqlstore::{Row, RowKey};
+use li_zk::ZooKeeper;
+
+use crate::node::{SchemaHandle, StorageNode};
+use crate::schema::{DatabaseSchema, EspressoError};
+use crate::uri::ResourcePath;
+
+/// Relay buffer budget per storage node (bytes).
+const RELAY_BUFFER_BYTES: usize = 8 << 20;
+
+/// A complete in-process Espresso cluster.
+pub struct EspressoCluster {
+    zk: ZooKeeper,
+    controller: Controller,
+    nodes: RwLock<HashMap<NodeId, Arc<StorageNode>>>,
+    relays: RwLock<HashMap<NodeId, Arc<Relay>>>,
+    participants: Mutex<HashMap<NodeId, Participant>>,
+    schemas: RwLock<HashMap<String, SchemaHandle>>,
+}
+
+impl std::fmt::Debug for EspressoCluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EspressoCluster")
+            .field("nodes", &self.nodes.read().len())
+            .field("databases", &self.schemas.read().keys().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+impl EspressoCluster {
+    /// Builds a cluster of `node_count` storage nodes (ids 0..n), each with
+    /// its own relay, all joined to a fresh coordination service.
+    pub fn new(node_count: u16) -> Result<Arc<Self>, EspressoError> {
+        let zk = ZooKeeper::new();
+        let controller = Controller::new(&zk, "espresso")?;
+        let cluster = Arc::new(EspressoCluster {
+            zk,
+            controller,
+            nodes: RwLock::new(HashMap::new()),
+            relays: RwLock::new(HashMap::new()),
+            participants: Mutex::new(HashMap::new()),
+            schemas: RwLock::new(HashMap::new()),
+        });
+        for i in 0..node_count {
+            cluster.attach_node(NodeId(i))?;
+        }
+        Ok(cluster)
+    }
+
+    /// Creates a storage node + relay and joins it to the cluster.
+    fn attach_node(self: &Arc<Self>, id: NodeId) -> Result<(), EspressoError> {
+        let relay = Arc::new(Relay::new(
+            format!("espresso-node-{}", id.0),
+            RELAY_BUFFER_BYTES,
+        ));
+        let node = Arc::new(StorageNode::new(id, relay.clone()));
+        // Existing databases get provisioned on the newcomer.
+        for schema in self.schemas.read().values() {
+            node.create_database(schema.clone())?;
+        }
+        self.nodes.write().insert(id, node.clone());
+        self.relays.write().insert(id, relay);
+        let participant = Participant::join(&self.zk, "espresso", id)?;
+        self.participants.lock().insert(id, participant);
+        let weak: Weak<EspressoCluster> = Arc::downgrade(self);
+        self.controller.register_handler(
+            id,
+            Arc::new(move |transition: &Transition| {
+                let Some(cluster) = weak.upgrade() else {
+                    return Err("cluster gone".to_string());
+                };
+                cluster
+                    .handle_transition(&node, transition)
+                    .map_err(|e| e.to_string())
+            }),
+        );
+        Ok(())
+    }
+
+    /// Executes one Helix transition task on `node`.
+    fn handle_transition(
+        &self,
+        node: &Arc<StorageNode>,
+        t: &Transition,
+    ) -> Result<(), EspressoError> {
+        let db = &t.resource;
+        let partition = t.partition.0;
+        match (t.from, t.to) {
+            (ReplicaState::Slave, ReplicaState::Master) => {
+                // "The slave partition first consumes all outstanding
+                // changes to the partition from the Databus relay, and then
+                // becomes a master partition."
+                let prev_master = self.controller.external_view(db)?.master_of(t.partition);
+                if let Some(prev) = prev_master {
+                    if prev != node.id() {
+                        // A returning node (e.g. restarted after a crash)
+                        // may never have followed the interim master: seed
+                        // a stream with a snapshot first, if the previous
+                        // master is still alive to serve one.
+                        if !node.has_stream(prev, db, partition)
+                            && self.controller.live_nodes()?.contains(&prev)
+                        {
+                            let prev_node = self.node(prev)?;
+                            let (rows, checkpoint) =
+                                prev_node.snapshot_partition(db, partition)?;
+                            node.bootstrap_partition(db, partition, prev, rows, checkpoint)?;
+                        }
+                        if node.has_stream(prev, db, partition) {
+                            let relay = self
+                                .relays
+                                .read()
+                                .get(&prev)
+                                .cloned()
+                                .ok_or_else(|| EspressoError::Replication(format!(
+                                    "no relay for {prev}"
+                                )))?;
+                            node.sync_partition(db, partition, prev, &relay)?;
+                        }
+                    }
+                }
+                node.set_master(db, partition, true);
+                Ok(())
+            }
+            (ReplicaState::Master, ReplicaState::Slave) => {
+                node.set_master(db, partition, false);
+                Ok(())
+            }
+            // Offline→Slave bootstrapping happens lazily in
+            // `pump_replication` (the stream source is only knowable once a
+            // master is published); Slave→Offline keeps local data, which a
+            // later re-bootstrap simply overwrites.
+            _ => Ok(()),
+        }
+    }
+
+    /// Creates a database across the cluster and lets Helix assign its
+    /// partitions.
+    pub fn create_database(&self, schema: DatabaseSchema) -> Result<(), EspressoError> {
+        let name = schema.name.clone();
+        let config = ResourceConfig::new(&name, schema.num_partitions, schema.replication);
+        let handle: SchemaHandle = Arc::new(RwLock::new(schema));
+        for node in self.nodes.read().values() {
+            node.create_database(handle.clone())?;
+        }
+        self.schemas.write().insert(name.clone(), handle);
+        let node_ids: Vec<NodeId> = {
+            let mut ids: Vec<NodeId> = self.nodes.read().keys().copied().collect();
+            ids.sort();
+            ids
+        };
+        self.controller.add_resource(config, &node_ids)?;
+        Ok(())
+    }
+
+    /// The schema handle for `db`.
+    pub fn schema(&self, db: &str) -> Result<SchemaHandle, EspressoError> {
+        self.schemas
+            .read()
+            .get(db)
+            .cloned()
+            .ok_or_else(|| EspressoError::UnknownDatabase(db.into()))
+    }
+
+    /// A storage node handle.
+    pub fn node(&self, id: NodeId) -> Result<Arc<StorageNode>, EspressoError> {
+        self.nodes
+            .read()
+            .get(&id)
+            .cloned()
+            .ok_or_else(|| EspressoError::Cluster(format!("no node {id}")))
+    }
+
+    /// The relay of a storage node (alive even when the node is down).
+    pub fn relay(&self, id: NodeId) -> Result<Arc<Relay>, EspressoError> {
+        self.relays
+            .read()
+            .get(&id)
+            .cloned()
+            .ok_or_else(|| EspressoError::Cluster(format!("no relay {id}")))
+    }
+
+    /// The Helix controller (diagnostics / advanced operations).
+    pub fn controller(&self) -> &Controller {
+        &self.controller
+    }
+
+    /// Routes a resource id to `(partition, master node)`.
+    pub fn route(&self, db: &str, resource_id: &str) -> Result<(u32, NodeId), EspressoError> {
+        let schema = self.schema(db)?;
+        let partition = schema.read().partition_of(resource_id);
+        let view = self.controller.external_view(db)?;
+        let master = view
+            .master_of(PartitionId(partition))
+            .ok_or(EspressoError::NoMaster { partition })?;
+        Ok((partition, master))
+    }
+
+    fn master_node(&self, db: &str, resource_id: &str) -> Result<Arc<StorageNode>, EspressoError> {
+        let (_, master) = self.route(db, resource_id)?;
+        self.node(master)
+    }
+
+    fn resource_of(key: &RowKey) -> Result<&str, EspressoError> {
+        key.resource_id()
+            .ok_or_else(|| EspressoError::BadRequest("empty key".into()))
+    }
+
+    /// PUT a document (routed).
+    pub fn put(
+        &self,
+        db: &str,
+        table: &str,
+        key: RowKey,
+        record: &Record,
+    ) -> Result<u64, EspressoError> {
+        let node = self.master_node(db, Self::resource_of(&key)?)?;
+        node.put_document(db, table, key, record)
+    }
+
+    /// Conditional PUT (If-Match etag; 0 = If-None-Match).
+    pub fn put_if_match(
+        &self,
+        db: &str,
+        table: &str,
+        key: RowKey,
+        expected_etag: u64,
+        record: &Record,
+    ) -> Result<u64, EspressoError> {
+        let node = self.master_node(db, Self::resource_of(&key)?)?;
+        node.put_document_if_match(db, table, key, expected_etag, record)
+    }
+
+    /// Transactional multi-table POST (wildcard-table URI in the paper).
+    pub fn post_transactional(
+        &self,
+        db: &str,
+        documents: Vec<(String, RowKey, Record)>,
+    ) -> Result<u64, EspressoError> {
+        let first = documents
+            .first()
+            .ok_or_else(|| EspressoError::BadRequest("empty transaction".into()))?;
+        let node = self.master_node(db, Self::resource_of(&first.1)?)?;
+        node.put_transactional(db, documents)
+    }
+
+    /// GET a document (routed to the master — timeline-consistent reads).
+    pub fn get(
+        &self,
+        db: &str,
+        table: &str,
+        key: &RowKey,
+    ) -> Result<Option<(Record, Row)>, EspressoError> {
+        let node = self.master_node(db, Self::resource_of(key)?)?;
+        node.get_document(db, table, key)
+    }
+
+    /// GET a collection resource.
+    pub fn get_collection(
+        &self,
+        db: &str,
+        table: &str,
+        prefix: &RowKey,
+    ) -> Result<Vec<(RowKey, Record)>, EspressoError> {
+        let node = self.master_node(db, Self::resource_of(prefix)?)?;
+        node.get_collection(db, table, prefix)
+    }
+
+    /// DELETE a document.
+    pub fn delete(&self, db: &str, table: &str, key: RowKey) -> Result<(), EspressoError> {
+        let node = self.master_node(db, Self::resource_of(&key)?)?;
+        node.delete_document(db, table, key)
+    }
+
+    /// Secondary-index query over a collection resource (URI
+    /// `/db/table/resource?query=field:term`).
+    pub fn query_uri(&self, uri: &str) -> Result<Vec<(RowKey, Record)>, EspressoError> {
+        let path = ResourcePath::parse(uri)?;
+        let (field, term) = path
+            .query
+            .clone()
+            .ok_or_else(|| EspressoError::BadRequest("missing ?query=".into()))?;
+        let collection = path.row_key();
+        let node = self.master_node(&path.database, Self::resource_of(&collection)?)?;
+        node.query(
+            &path.database,
+            &path.table,
+            Some(&collection),
+            &field,
+            &term,
+        )
+    }
+
+    /// GET by URI string (document or collection, with optional query).
+    pub fn get_uri(&self, uri: &str) -> Result<Vec<(RowKey, Record)>, EspressoError> {
+        let path = ResourcePath::parse(uri)?;
+        if path.query.is_some() {
+            return self.query_uri(uri);
+        }
+        let schema = self.schema(&path.database)?;
+        let depth = schema.read().table(&path.table)?.key_depth();
+        if path.key.len() == depth {
+            let key = path.row_key();
+            Ok(self
+                .get(&path.database, &path.table, &key)?
+                .map(|(record, _)| vec![(key, record)])
+                .unwrap_or_default())
+        } else {
+            self.get_collection(&path.database, &path.table, &path.row_key())
+        }
+    }
+
+    /// One replication pump: for every database and partition, slaves
+    /// bootstrap (if needed) and catch up from the current master's relay.
+    /// In production this runs continuously; tests and examples call it at
+    /// interesting moments. Returns windows applied.
+    pub fn pump_replication(&self) -> Result<usize, EspressoError> {
+        let mut applied = 0;
+        let databases: Vec<(String, u32)> = self
+            .schemas
+            .read()
+            .iter()
+            .map(|(name, handle)| (name.clone(), handle.read().num_partitions))
+            .collect();
+        for (db, num_partitions) in databases {
+            let view = self.controller.external_view(&db)?;
+            for partition in 0..num_partitions {
+                let pid = PartitionId(partition);
+                let Some(master) = view.master_of(pid) else {
+                    continue;
+                };
+                let master_node = self.node(master)?;
+                let master_relay = self.relay(master)?;
+                for slave in view.slaves_of(pid) {
+                    let slave_node = self.node(slave)?;
+                    if !slave_node.has_stream(master, &db, partition) {
+                        let (rows, checkpoint) = master_node.snapshot_partition(&db, partition)?;
+                        slave_node.bootstrap_partition(
+                            &db, partition, master, rows, checkpoint,
+                        )?;
+                    }
+                    applied += slave_node.sync_partition(&db, partition, master, &master_relay)?;
+                }
+            }
+        }
+        Ok(applied)
+    }
+
+    /// Simulates a storage-node crash: its Helix session expires (ephemeral
+    /// liveness gone) and the controller fails over. The node's relay
+    /// stays up — the fault-tolerance property the paper relies on.
+    pub fn crash_node(&self, id: NodeId) -> Result<(), EspressoError> {
+        let session = {
+            let participants = self.participants.lock();
+            participants
+                .get(&id)
+                .map(Participant::session_id)
+                .ok_or_else(|| EspressoError::Cluster(format!("{id} not joined")))?
+        };
+        self.zk.expire(session);
+        self.participants.lock().remove(&id);
+        self.controller.rebalance_all()?;
+        Ok(())
+    }
+
+    /// Brings a crashed node back: rejoins the cluster and rebalances. Its
+    /// stale partitions re-bootstrap on the next replication pump.
+    pub fn restart_node(self: &Arc<Self>, id: NodeId) -> Result<(), EspressoError> {
+        if !self.nodes.read().contains_key(&id) {
+            return Err(EspressoError::Cluster(format!("unknown node {id}")));
+        }
+        let participant = Participant::join(&self.zk, "espresso", id)?;
+        self.participants.lock().insert(id, participant);
+        self.controller.rebalance_all()?;
+        Ok(())
+    }
+
+    /// Cluster expansion: adds a brand-new node and re-spreads every
+    /// database over the enlarged node set (bootstrap → catch-up →
+    /// mastership handoff, driven by Helix).
+    pub fn add_node(self: &Arc<Self>, id: NodeId) -> Result<(), EspressoError> {
+        if self.nodes.read().contains_key(&id) {
+            return Err(EspressoError::Cluster(format!("{id} already exists")));
+        }
+        self.attach_node(id)?;
+        let node_ids: Vec<NodeId> = {
+            let mut ids: Vec<NodeId> = self.nodes.read().keys().copied().collect();
+            ids.sort();
+            ids
+        };
+        // Seed replicas before mastership can move: pump so the newcomer
+        // can bootstrap once the controller assigns it slave roles.
+        let databases: Vec<String> = self.schemas.read().keys().cloned().collect();
+        for db in &databases {
+            self.controller.expand_resource(db, &node_ids)?;
+            self.pump_replication()?;
+            // A second rebalance lets any mastership handoffs planned
+            // against now-bootstrapped slaves settle.
+            self.controller.rebalance(db)?;
+            self.pump_replication()?;
+        }
+        Ok(())
+    }
+}

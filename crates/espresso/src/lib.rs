@@ -1,0 +1,67 @@
+//! # li-espresso — distributed document store (Espresso reproduction)
+//!
+//! Paper §IV: "Espresso is a distributed, timeline consistent, scalable,
+//! document store that supports local secondary indexing and local
+//! transactions. Espresso relies on Databus for internal replication and
+//! therefore provides a Change Data Capture pipeline to downstream
+//! consumers." It "bridges the semantic gap between a simple Key Value
+//! store like Voldemort and a full RDBMS."
+//!
+//! The four components of Figure IV.1 map onto the modules here:
+//!
+//! * **Router** ([`cluster::EspressoCluster`] routing paths) — parses the
+//!   hierarchical URI (`/<database>/<table>/<resource_id>[/<sub>…]`,
+//!   [`uri`]), hashes the `resource_id` to a partition, consults the
+//!   cluster manager's external view for the master, and dispatches.
+//! * **Storage node** ([`node`]) — an `li-sqlstore` instance (the MySQL
+//!   analog, one binlog per node for sequential I/O) plus a Lucene-analog
+//!   inverted index ([`index`]) per table, maintained transactionally with
+//!   document writes. Documents are schema-versioned binary records
+//!   ([`schema`], Avro-analog) supporting free evolution.
+//! * **Relay** — each node's binlog ships semi-synchronously to an
+//!   `li-databus` relay ("each change is written to two places before
+//!   being committed"), from which slave partitions replicate in commit
+//!   order (timeline consistency) and downstream consumers get CDC.
+//! * **Cluster manager** — `li-helix` drives the MasterSlave state machine:
+//!   failover promotes a slave *after* it drains the relay; expansion
+//!   bootstraps new replicas from a snapshot, catches up from the relay,
+//!   then hands off mastership.
+//!
+//! ```
+//! use li_commons::schema::{Field, FieldType, Record, RecordSchema, Value};
+//! use li_espresso::{DatabaseSchema, EspressoCluster, TableSchema};
+//! use li_sqlstore::RowKey;
+//!
+//! let schema = DatabaseSchema::new("Music", 8, 2).with_table(
+//!     TableSchema::new("Album", ["artist", "album"]),
+//!     RecordSchema::new("Album", 1, vec![Field::new("year", FieldType::Long)])?,
+//! )?;
+//! let cluster = EspressoCluster::new(3)?;
+//! cluster.create_database(schema)?;
+//!
+//! cluster.put(
+//!     "Music", "Album",
+//!     RowKey::new(["Akon", "Trouble"]),
+//!     &Record::new().with("year", Value::Long(2004)),
+//! )?;
+//! let hits = cluster.get_uri("/Music/Album/Akon/Trouble")?;
+//! assert_eq!(hits[0].1.get("year"), Some(&Value::Long(2004)));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod globalindex;
+pub mod index;
+pub mod node;
+pub mod schema;
+pub mod uri;
+
+pub use cluster::EspressoCluster;
+pub use globalindex::GlobalIndex;
+pub use index::InvertedIndex;
+pub use node::StorageNode;
+pub use schema::{DatabaseSchema, EspressoError, PartitionStrategy, TableSchema};
+pub use uri::ResourcePath;

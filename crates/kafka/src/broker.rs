@@ -1,0 +1,189 @@
+//! The broker: a set of partition logs.
+
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use li_commons::sim::Clock;
+
+use crate::log::{LogConfig, PartitionLog};
+use crate::message::{KafkaError, Message, MessageSet};
+
+/// A Kafka broker: "a topic is divided into multiple partitions and each
+/// broker stores one or more of those partitions" (§V.A). The broker holds
+/// no consumer state whatsoever — that is the point.
+pub struct Broker {
+    id: u16,
+    config: LogConfig,
+    clock: Arc<dyn Clock>,
+    logs: RwLock<HashMap<(String, u32), Arc<PartitionLog>>>,
+}
+
+impl std::fmt::Debug for Broker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Broker")
+            .field("id", &self.id)
+            .field("partitions", &self.logs.read().len())
+            .finish()
+    }
+}
+
+impl Broker {
+    /// Creates a broker.
+    pub fn new(id: u16, config: LogConfig, clock: Arc<dyn Clock>) -> Self {
+        Broker {
+            id,
+            config,
+            clock,
+            logs: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// This broker's id.
+    pub fn id(&self) -> u16 {
+        self.id
+    }
+
+    /// Creates (idempotently) the log for a topic-partition.
+    pub fn create_partition(&self, topic: &str, partition: u32) {
+        self.logs
+            .write()
+            .entry((topic.to_string(), partition))
+            .or_insert_with(|| {
+                Arc::new(PartitionLog::new(self.config.clone(), self.clock.clone()))
+            });
+    }
+
+    /// The log of a topic-partition.
+    pub fn log(&self, topic: &str, partition: u32) -> Result<Arc<PartitionLog>, KafkaError> {
+        self.logs
+            .read()
+            .get(&(topic.to_string(), partition))
+            .cloned()
+            .ok_or_else(|| KafkaError::UnknownTopicPartition(topic.to_string(), partition))
+    }
+
+    /// Appends one (possibly wrapper) message; returns its offset.
+    pub fn produce_message(
+        &self,
+        topic: &str,
+        partition: u32,
+        message: &Message,
+    ) -> Result<u64, KafkaError> {
+        Ok(self.log(topic, partition)?.append(message))
+    }
+
+    /// Appends every message of a set; returns the first offset.
+    pub fn produce(
+        &self,
+        topic: &str,
+        partition: u32,
+        set: &MessageSet,
+    ) -> Result<u64, KafkaError> {
+        let log = self.log(topic, partition)?;
+        let mut first = None;
+        for message in &set.messages {
+            let offset = log.append(message);
+            first.get_or_insert(offset);
+        }
+        Ok(first.unwrap_or_else(|| log.log_end()))
+    }
+
+    /// Pull fetch: raw stored messages from `offset`, bounded by
+    /// `max_bytes`. The consumer unwraps compression.
+    pub fn fetch(
+        &self,
+        topic: &str,
+        partition: u32,
+        offset: u64,
+        max_bytes: usize,
+    ) -> Result<(Vec<(u64, Message)>, u64), KafkaError> {
+        self.log(topic, partition)?.read(offset, max_bytes)
+    }
+
+    /// Replaces a partition's log with a fresh one (replication layer:
+    /// resetting a divergent replica before re-replication).
+    pub fn reset_partition(&self, topic: &str, partition: u32) {
+        self.logs.write().insert(
+            (topic.to_string(), partition),
+            Arc::new(PartitionLog::new(self.config.clone(), self.clock.clone())),
+        );
+    }
+
+    /// Flushes every partition (time-policy tick / shutdown).
+    pub fn flush_all(&self) {
+        for log in self.logs.read().values() {
+            log.flush();
+        }
+    }
+
+    /// Runs the retention SLA on every partition; returns segments deleted.
+    pub fn enforce_retention(&self) -> usize {
+        self.logs
+            .read()
+            .values()
+            .map(|log| log.enforce_retention())
+            .sum()
+    }
+
+    /// Topic-partitions hosted here.
+    pub fn partitions(&self) -> Vec<(String, u32)> {
+        let mut keys: Vec<(String, u32)> = self.logs.read().keys().cloned().collect();
+        keys.sort();
+        keys
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use li_commons::sim::SimClock;
+
+    fn broker() -> Broker {
+        Broker::new(0, LogConfig::default(), Arc::new(SimClock::new()))
+    }
+
+    #[test]
+    fn produce_fetch_cycle() {
+        let b = broker();
+        b.create_partition("events", 0);
+        let set = MessageSet::from_payloads(["a", "b", "c"]);
+        let first = b.produce("events", 0, &set).unwrap();
+        assert_eq!(first, 0);
+        let (messages, next) = b.fetch("events", 0, 0, usize::MAX).unwrap();
+        assert_eq!(messages.len(), 3);
+        assert!(next > 0);
+    }
+
+    #[test]
+    fn unknown_partition_rejected() {
+        let b = broker();
+        assert!(matches!(
+            b.fetch("nope", 0, 0, 100),
+            Err(KafkaError::UnknownTopicPartition(_, 0))
+        ));
+        assert!(b
+            .produce("nope", 0, &MessageSet::from_payloads(["x"]))
+            .is_err());
+    }
+
+    #[test]
+    fn create_partition_idempotent() {
+        let b = broker();
+        b.create_partition("t", 0);
+        b.produce("t", 0, &MessageSet::from_payloads(["x"])).unwrap();
+        b.create_partition("t", 0); // must not wipe the log
+        let (messages, _) = b.fetch("t", 0, 0, usize::MAX).unwrap();
+        assert_eq!(messages.len(), 1);
+    }
+
+    #[test]
+    fn partitions_are_independent_logs() {
+        let b = broker();
+        b.create_partition("t", 0);
+        b.create_partition("t", 1);
+        b.produce("t", 0, &MessageSet::from_payloads(["only in 0"])).unwrap();
+        assert_eq!(b.fetch("t", 0, 0, usize::MAX).unwrap().0.len(), 1);
+        assert!(b.fetch("t", 1, 0, usize::MAX).unwrap().0.is_empty());
+    }
+}

@@ -1,0 +1,457 @@
+//! Partition logs: segments, logical offsets, flush policy, retention.
+//!
+//! "Each partition of a topic corresponds to a logical log. Physically, a
+//! log is implemented as a set of segment files of approximately the same
+//! size. Every time a producer publishes a message to a partition, the
+//! broker simply appends the message to the last segment file. For better
+//! performance, we flush the segment files to disk only after a
+//! configurable number of messages have been published or a certain amount
+//! of time has elapsed. A message is only exposed to the consumers after
+//! it is flushed. ... each message is addressed by its logical offset in
+//! the log. ... For every partition in a topic, a broker keeps in memory
+//! the initial offset of each segment file" (§V.B).
+
+use parking_lot::{Condvar, Mutex};
+use std::sync::Arc;
+use std::time::Duration;
+
+use li_commons::sim::Clock;
+
+use crate::message::{KafkaError, Message};
+
+/// Log tuning knobs.
+#[derive(Debug, Clone)]
+pub struct LogConfig {
+    /// Roll to a new segment after the active one exceeds this.
+    pub segment_bytes: usize,
+    /// Flush after this many appended messages.
+    pub flush_interval_messages: u64,
+    /// Flush after this much time since the last flush.
+    pub flush_interval: Duration,
+    /// Delete segments not appended to for this long — "a message is
+    /// automatically deleted if it has been retained in the broker longer
+    /// than a certain period (e.g., 7 days)".
+    pub retention: Duration,
+}
+
+impl Default for LogConfig {
+    fn default() -> Self {
+        LogConfig {
+            segment_bytes: 1 << 20,
+            flush_interval_messages: 1,
+            flush_interval: Duration::from_millis(100),
+            retention: Duration::from_secs(7 * 24 * 3600),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Segment {
+    base_offset: u64,
+    data: Vec<u8>,
+    last_append: Duration,
+}
+
+#[derive(Debug)]
+struct LogInner {
+    segments: Vec<Segment>,
+    /// Absolute offset one past the last appended byte.
+    log_end: u64,
+    /// Absolute offset one past the last *flushed* (consumer-visible) byte.
+    visible_end: u64,
+    unflushed_messages: u64,
+    last_flush: Duration,
+}
+
+/// One topic-partition's log.
+pub struct PartitionLog {
+    config: LogConfig,
+    clock: Arc<dyn Clock>,
+    inner: Mutex<LogInner>,
+    data_ready: Condvar,
+}
+
+impl std::fmt::Debug for PartitionLog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock();
+        f.debug_struct("PartitionLog")
+            .field("segments", &inner.segments.len())
+            .field("log_end", &inner.log_end)
+            .field("visible_end", &inner.visible_end)
+            .finish()
+    }
+}
+
+impl PartitionLog {
+    /// Creates an empty log.
+    pub fn new(config: LogConfig, clock: Arc<dyn Clock>) -> Self {
+        let now = clock.now();
+        PartitionLog {
+            config,
+            clock,
+            inner: Mutex::new(LogInner {
+                segments: vec![Segment {
+                    base_offset: 0,
+                    data: Vec::new(),
+                    last_append: now,
+                }],
+                log_end: 0,
+                visible_end: 0,
+                unflushed_messages: 0,
+                last_flush: now,
+            }),
+            data_ready: Condvar::new(),
+        }
+    }
+
+    /// Appends one message, returning its logical offset. Visibility waits
+    /// for the flush policy.
+    pub fn append(&self, message: &Message) -> u64 {
+        let now = self.clock.now();
+        let mut inner = self.inner.lock();
+        let offset = inner.log_end;
+        {
+            let roll = inner
+                .segments
+                .last()
+                .is_none_or(|s| s.data.len() >= self.config.segment_bytes);
+            if roll {
+                inner.segments.push(Segment {
+                    base_offset: offset,
+                    data: Vec::new(),
+                    last_append: now,
+                });
+            }
+            let active = inner.segments.last_mut().expect("active segment");
+            message.encode(&mut active.data);
+            active.last_append = now;
+        }
+        inner.log_end = offset + message.framed_len() as u64;
+        inner.unflushed_messages += 1;
+
+        let flush_due = inner.unflushed_messages >= self.config.flush_interval_messages
+            || now.saturating_sub(inner.last_flush) >= self.config.flush_interval;
+        if flush_due {
+            inner.visible_end = inner.log_end;
+            inner.unflushed_messages = 0;
+            inner.last_flush = now;
+            self.data_ready.notify_all();
+        }
+        offset
+    }
+
+    /// Forces a flush (shutdown / time-policy tick).
+    pub fn flush(&self) {
+        let mut inner = self.inner.lock();
+        inner.visible_end = inner.log_end;
+        inner.unflushed_messages = 0;
+        inner.last_flush = self.clock.now();
+        self.data_ready.notify_all();
+    }
+
+    /// Smallest valid offset (moves forward as retention deletes segments).
+    pub fn log_start(&self) -> u64 {
+        self.inner.lock().segments.first().map_or(0, |s| s.base_offset)
+    }
+
+    /// One past the last appended byte.
+    pub fn log_end(&self) -> u64 {
+        self.inner.lock().log_end
+    }
+
+    /// One past the last consumer-visible byte.
+    pub fn visible_end(&self) -> u64 {
+        self.inner.lock().visible_end
+    }
+
+    /// Reads messages starting at `offset`, up to `max_bytes` of framed
+    /// data ("each pull request contains the offset of the message from
+    /// which the consumption begins and a maximum number of bytes to
+    /// fetch"). Returns `(messages_with_offsets, next_offset)`.
+    pub fn read(
+        &self,
+        offset: u64,
+        max_bytes: usize,
+    ) -> Result<(Vec<(u64, Message)>, u64), KafkaError> {
+        let inner = self.inner.lock();
+        let log_start = inner.segments.first().map_or(0, |s| s.base_offset);
+        if offset < log_start || offset > inner.visible_end {
+            return Err(KafkaError::OffsetOutOfRange {
+                requested: offset,
+                log_start,
+                log_end: inner.visible_end,
+            });
+        }
+        if offset == inner.visible_end {
+            return Ok((Vec::new(), offset));
+        }
+        // Locate the segment holding `offset` via the in-memory offset
+        // list (binary search).
+        let seg_idx = match inner
+            .segments
+            .binary_search_by(|s| s.base_offset.cmp(&offset))
+        {
+            Ok(idx) => idx,
+            Err(idx) => idx - 1,
+        };
+
+        let mut out = Vec::new();
+        let mut cursor = offset;
+        let mut bytes = 0usize;
+        let mut idx = seg_idx;
+        while bytes < max_bytes && cursor < inner.visible_end {
+            let segment = match inner.segments.get(idx) {
+                Some(s) => s,
+                None => break,
+            };
+            let rel = (cursor - segment.base_offset) as usize;
+            if rel >= segment.data.len() {
+                idx += 1;
+                continue;
+            }
+            // Never serve past the flush horizon.
+            let visible_in_segment =
+                (inner.visible_end - segment.base_offset).min(segment.data.len() as u64) as usize;
+            match Message::decode_at(&segment.data[..visible_in_segment], rel)? {
+                None => {
+                    idx += 1;
+                    continue;
+                }
+                Some((message, next_rel)) => {
+                    bytes += next_rel - rel;
+                    out.push((cursor, message));
+                    cursor = segment.base_offset + next_rel as u64;
+                }
+            }
+        }
+        Ok((out, cursor))
+    }
+
+    /// Blocks until data past `offset` is visible, or `timeout` elapses.
+    /// Returns true when data is available. This is what makes the
+    /// consumer's "iterator never terminates" blocking semantics work.
+    pub fn wait_for_data(&self, offset: u64, timeout: Duration) -> bool {
+        let mut inner = self.inner.lock();
+        if inner.visible_end > offset {
+            return true;
+        }
+        self.data_ready.wait_for(&mut inner, timeout);
+        inner.visible_end > offset
+    }
+
+    /// Applies the time-based retention SLA: whole segments whose last
+    /// append is older than the retention period are deleted. Returns
+    /// deleted segment count. The (possibly empty) newest segment always
+    /// survives so `log_end` stays meaningful.
+    pub fn enforce_retention(&self) -> usize {
+        let now = self.clock.now();
+        let mut inner = self.inner.lock();
+        let mut deleted = 0;
+        while inner.segments.len() > 1 {
+            let expired = now.saturating_sub(inner.segments[0].last_append) > self.config.retention;
+            if !expired {
+                break;
+            }
+            inner.segments.remove(0);
+            deleted += 1;
+        }
+        // A single expired segment is truncated in place by rolling.
+        if inner.segments.len() == 1 {
+            let expired = now.saturating_sub(inner.segments[0].last_append) > self.config.retention
+                && !inner.segments[0].data.is_empty();
+            if expired {
+                let end = inner.log_end;
+                inner.segments[0] = Segment {
+                    base_offset: end,
+                    data: Vec::new(),
+                    last_append: now,
+                };
+                deleted += 1;
+            }
+        }
+        deleted
+    }
+
+    /// Number of segments.
+    pub fn segment_count(&self) -> usize {
+        self.inner.lock().segments.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use li_commons::sim::SimClock;
+
+    fn log_with(config: LogConfig) -> (PartitionLog, SimClock) {
+        let clock = SimClock::new();
+        (PartitionLog::new(config, Arc::new(clock.clone())), clock)
+    }
+
+    fn msg(text: &str) -> Message {
+        Message::new(text.as_bytes().to_vec())
+    }
+
+    #[test]
+    fn append_read_round_trip_with_offsets() {
+        let (log, _) = log_with(LogConfig::default());
+        let o1 = log.append(&msg("a"));
+        let o2 = log.append(&msg("bb"));
+        let o3 = log.append(&msg("ccc"));
+        assert_eq!(o1, 0);
+        assert_eq!(o2, msg("a").framed_len() as u64);
+        assert_eq!(o3, o2 + msg("bb").framed_len() as u64);
+        let (messages, next) = log.read(0, usize::MAX).unwrap();
+        assert_eq!(messages.len(), 3);
+        assert_eq!(messages[1].0, o2);
+        assert_eq!(messages[2].1.payload.as_ref(), b"ccc");
+        assert_eq!(next, log.log_end());
+        // Resume from the middle.
+        let (tail, _) = log.read(o2, usize::MAX).unwrap();
+        assert_eq!(tail.len(), 2);
+    }
+
+    #[test]
+    fn max_bytes_bounds_the_fetch() {
+        let (log, _) = log_with(LogConfig::default());
+        for i in 0..100 {
+            log.append(&msg(&format!("event-{i}")));
+        }
+        let (messages, next) = log.read(0, 100).unwrap();
+        assert!(messages.len() < 100 && !messages.is_empty());
+        // Continue from next.
+        let (more, _) = log.read(next, usize::MAX).unwrap();
+        assert_eq!(messages.len() + more.len(), 100);
+    }
+
+    #[test]
+    fn unflushed_messages_invisible() {
+        let (log, _) = log_with(LogConfig {
+            flush_interval_messages: 10,
+            flush_interval: Duration::from_secs(3600),
+            ..LogConfig::default()
+        });
+        for _ in 0..5 {
+            log.append(&msg("x"));
+        }
+        assert_eq!(log.visible_end(), 0);
+        let (messages, next) = log.read(0, usize::MAX).unwrap();
+        assert!(messages.is_empty());
+        assert_eq!(next, 0);
+        // 10th message triggers the count-based flush.
+        for _ in 0..5 {
+            log.append(&msg("x"));
+        }
+        assert_eq!(log.visible_end(), log.log_end());
+        assert_eq!(log.read(0, usize::MAX).unwrap().0.len(), 10);
+    }
+
+    #[test]
+    fn time_based_flush() {
+        let (log, clock) = log_with(LogConfig {
+            flush_interval_messages: 1000,
+            flush_interval: Duration::from_millis(50),
+            ..LogConfig::default()
+        });
+        log.append(&msg("x"));
+        assert_eq!(log.visible_end(), 0);
+        clock.advance(Duration::from_millis(60));
+        log.append(&msg("y")); // append past the interval flushes
+        assert_eq!(log.visible_end(), log.log_end());
+    }
+
+    #[test]
+    fn segments_roll_and_offsets_span_them() {
+        let (log, _) = log_with(LogConfig {
+            segment_bytes: 64,
+            ..LogConfig::default()
+        });
+        let mut offsets = Vec::new();
+        for i in 0..50 {
+            offsets.push(log.append(&msg(&format!("event-{i}"))));
+        }
+        assert!(log.segment_count() > 1);
+        // Reads work across segment boundaries from any starting offset.
+        for (i, &offset) in offsets.iter().enumerate() {
+            let (messages, _) = log.read(offset, usize::MAX).unwrap();
+            assert_eq!(messages.len(), 50 - i, "from offset {offset}");
+        }
+    }
+
+    #[test]
+    fn out_of_range_offsets_rejected() {
+        let (log, _) = log_with(LogConfig::default());
+        log.append(&msg("x"));
+        let err = log.read(log.log_end() + 1, 100).unwrap_err();
+        assert!(matches!(err, KafkaError::OffsetOutOfRange { .. }));
+        // Mid-message offsets are detected as corrupt rather than served.
+        assert!(log.read(3, 100).is_err());
+    }
+
+    #[test]
+    fn rewind_and_reconsume() {
+        // "A consumer can deliberately rewind back to an old offset and
+        // re-consume data."
+        let (log, _) = log_with(LogConfig::default());
+        for i in 0..10 {
+            log.append(&msg(&format!("{i}")));
+        }
+        let (first, _) = log.read(0, usize::MAX).unwrap();
+        let (again, _) = log.read(0, usize::MAX).unwrap();
+        assert_eq!(first, again);
+    }
+
+    #[test]
+    fn retention_deletes_old_segments() {
+        let (log, clock) = log_with(LogConfig {
+            segment_bytes: 64,
+            retention: Duration::from_secs(100),
+            ..LogConfig::default()
+        });
+        for i in 0..30 {
+            log.append(&msg(&format!("old-{i}")));
+        }
+        let old_end = log.log_end();
+        clock.advance(Duration::from_secs(200));
+        for i in 0..5 {
+            log.append(&msg(&format!("new-{i}")));
+        }
+        let deleted = log.enforce_retention();
+        assert!(deleted > 0);
+        assert!(log.log_start() > 0);
+        // Old offsets now out of range; new data still readable.
+        assert!(log.read(0, 100).is_err());
+        let (messages, _) = log.read(old_end, usize::MAX).unwrap();
+        assert_eq!(messages.len(), 5);
+    }
+
+    #[test]
+    fn retention_with_single_expired_segment_truncates() {
+        let (log, clock) = log_with(LogConfig {
+            retention: Duration::from_secs(10),
+            ..LogConfig::default()
+        });
+        log.append(&msg("doomed"));
+        clock.advance(Duration::from_secs(60));
+        assert_eq!(log.enforce_retention(), 1);
+        assert_eq!(log.log_start(), log.log_end());
+        assert!(log.read(log.log_end(), 100).unwrap().0.is_empty());
+    }
+
+    #[test]
+    fn wait_for_data_blocks_until_flush() {
+        let (log, _) = log_with(LogConfig {
+            flush_interval_messages: 1,
+            ..LogConfig::default()
+        });
+        assert!(!log.wait_for_data(0, Duration::from_millis(10)), "times out");
+        let log = Arc::new(log);
+        let waiter = {
+            let log = log.clone();
+            std::thread::spawn(move || log.wait_for_data(0, Duration::from_secs(5)))
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        log.append(&msg("wake up"));
+        assert!(waiter.join().unwrap());
+    }
+}

@@ -1,0 +1,279 @@
+//! Messages, message sets, and the storage codec.
+//!
+//! On disk (and on the wire) a message is framed as
+//! `[len u32][crc u32][attributes u8][payload]` — the CRC guards against
+//! torn tail writes, the attribute byte selects the compression codec.
+//! "A message is defined to contain just a payload of bytes" (§V.A);
+//! batching wraps a whole compressed message set inside a single wrapper
+//! message (the paper's producer-side batch compression).
+
+use bytes::Bytes;
+use li_commons::bufio;
+use li_commons::compress::{self, Codec};
+use std::fmt;
+
+/// Errors from the Kafka layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum KafkaError {
+    /// Unknown topic or partition.
+    UnknownTopicPartition(String, u32),
+    /// Offset out of range (before retention window or past the log end).
+    OffsetOutOfRange {
+        /// Requested offset.
+        requested: u64,
+        /// Smallest valid offset.
+        log_start: u64,
+        /// One past the last visible byte.
+        log_end: u64,
+    },
+    /// Storage-level corruption.
+    Corrupt(String),
+    /// Compression codec failure.
+    Codec(String),
+    /// Coordination (ZooKeeper) failure.
+    Coordination(String),
+    /// The consumer group has no live members / bad state.
+    Group(String),
+}
+
+impl fmt::Display for KafkaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KafkaError::UnknownTopicPartition(topic, partition) => {
+                write!(f, "unknown topic-partition {topic}/{partition}")
+            }
+            KafkaError::OffsetOutOfRange { requested, log_start, log_end } => write!(
+                f,
+                "offset {requested} out of range [{log_start}, {log_end})"
+            ),
+            KafkaError::Corrupt(msg) => write!(f, "corrupt log: {msg}"),
+            KafkaError::Codec(msg) => write!(f, "codec error: {msg}"),
+            KafkaError::Coordination(msg) => write!(f, "coordination error: {msg}"),
+            KafkaError::Group(msg) => write!(f, "group error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for KafkaError {}
+
+impl From<li_zk::ZkError> for KafkaError {
+    fn from(e: li_zk::ZkError) -> Self {
+        KafkaError::Coordination(e.to_string())
+    }
+}
+
+/// A single message: an opaque byte payload plus a codec attribute.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Message {
+    /// Codec of `payload` (Lz only for wrapper messages).
+    pub codec: Codec,
+    /// The payload bytes.
+    pub payload: Bytes,
+}
+
+impl Message {
+    /// A plain uncompressed message.
+    pub fn new(payload: impl Into<Bytes>) -> Self {
+        Message {
+            codec: Codec::None,
+            payload: payload.into(),
+        }
+    }
+
+    /// Serialized length once framed in the log.
+    pub fn framed_len(&self) -> usize {
+        bufio::framed_len(1 + self.payload.len())
+    }
+
+    /// Appends the framed message to `out`.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        let mut body = Vec::with_capacity(1 + self.payload.len());
+        body.push(self.codec.to_attribute());
+        body.extend_from_slice(&self.payload);
+        bufio::write_frame(out, &body);
+    }
+
+    /// Decodes the message framed at `offset` in `data`, returning it and
+    /// the next offset.
+    pub fn decode_at(data: &[u8], offset: usize) -> Result<Option<(Message, usize)>, KafkaError> {
+        match bufio::read_frame(data, offset) {
+            bufio::Frame::End => Ok(None),
+            bufio::Frame::Corrupt => Err(KafkaError::Corrupt(format!(
+                "bad frame at offset {offset}"
+            ))),
+            bufio::Frame::Record { payload, next } => {
+                if payload.is_empty() {
+                    return Err(KafkaError::Corrupt("empty frame body".into()));
+                }
+                let codec = Codec::from_attribute(payload[0])
+                    .map_err(|e| KafkaError::Codec(e.to_string()))?;
+                Ok(Some((
+                    Message {
+                        codec,
+                        payload: Bytes::copy_from_slice(&payload[1..]),
+                    },
+                    next,
+                )))
+            }
+        }
+    }
+}
+
+/// A set of messages, the unit producers send ("for efficiency, the
+/// producer can send a set of messages in a single publish request").
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MessageSet {
+    /// The messages.
+    pub messages: Vec<Message>,
+}
+
+impl MessageSet {
+    /// Wraps payloads into an uncompressed set.
+    pub fn from_payloads<I, B>(payloads: I) -> Self
+    where
+        I: IntoIterator<Item = B>,
+        B: Into<Bytes>,
+    {
+        MessageSet {
+            messages: payloads.into_iter().map(Message::new).collect(),
+        }
+    }
+
+    /// Serialized bytes of the set (concatenated frames).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(
+            self.messages.iter().map(Message::framed_len).sum::<usize>(),
+        );
+        for message in &self.messages {
+            message.encode(&mut out);
+        }
+        out
+    }
+
+    /// Parses a concatenation of frames.
+    pub fn decode(data: &[u8]) -> Result<Self, KafkaError> {
+        let mut messages = Vec::new();
+        let mut offset = 0usize;
+        while let Some((message, next)) = Message::decode_at(data, offset)? {
+            messages.push(message);
+            offset = next;
+        }
+        Ok(MessageSet { messages })
+    }
+
+    /// Compresses the whole set into one wrapper message (producer-side
+    /// batch compression). Incompressible input pays a few framing bytes,
+    /// exactly like gzip-wrapping random data would.
+    pub fn compressed(&self) -> Message {
+        let raw = self.encode();
+        Message {
+            codec: Codec::Lz,
+            payload: Bytes::from(compress::compress(&raw)),
+        }
+    }
+
+    /// Expands a fetched message into application-visible messages,
+    /// unwrapping compressed wrappers ("the compressed data ... is
+    /// eventually delivered to the consumer, where it is uncompressed").
+    pub fn unwrap_message(message: &Message) -> Result<Vec<Message>, KafkaError> {
+        match message.codec {
+            Codec::None => Ok(vec![message.clone()]),
+            Codec::Lz => {
+                let raw = compress::decompress(&message.payload)
+                    .map_err(|e| KafkaError::Codec(e.to_string()))?;
+                // The wrapper contains either framed inner messages or (for
+                // the no-win fallback path) framed plain messages.
+                Ok(MessageSet::decode(&raw)?.messages)
+            }
+        }
+    }
+
+    /// Total payload bytes in the set.
+    pub fn payload_bytes(&self) -> usize {
+        self.messages.iter().map(|m| m.payload.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn message_codec_round_trip() {
+        let mut buf = Vec::new();
+        Message::new(&b"hello"[..]).encode(&mut buf);
+        Message::new(&b""[..]).encode(&mut buf);
+        let (m1, next) = Message::decode_at(&buf, 0).unwrap().unwrap();
+        assert_eq!(m1.payload.as_ref(), b"hello");
+        let (m2, end) = Message::decode_at(&buf, next).unwrap().unwrap();
+        assert!(m2.payload.is_empty());
+        assert!(Message::decode_at(&buf, end).unwrap().is_none());
+    }
+
+    #[test]
+    fn offset_arithmetic_matches_framed_len() {
+        // "To compute the id of the next message, we have to add the
+        // length of the current message to its id."
+        let m = Message::new(&b"payload"[..]);
+        let mut buf = Vec::new();
+        m.encode(&mut buf);
+        let (_, next) = Message::decode_at(&buf, 0).unwrap().unwrap();
+        assert_eq!(next, m.framed_len());
+    }
+
+    #[test]
+    fn corrupt_frame_detected() {
+        let mut buf = Vec::new();
+        Message::new(&b"data"[..]).encode(&mut buf);
+        buf[bufio::FRAME_HEADER] ^= 0xFF;
+        assert!(matches!(
+            Message::decode_at(&buf, 0),
+            Err(KafkaError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn set_round_trip() {
+        let set = MessageSet::from_payloads((0..10).map(|i| format!("event-{i}")));
+        let decoded = MessageSet::decode(&set.encode()).unwrap();
+        assert_eq!(decoded, set);
+    }
+
+    #[test]
+    fn compression_round_trip_and_saves_space() {
+        let set = MessageSet::from_payloads(
+            (0..200).map(|i| format!("pageview member=12345 page=/in/profile id={i}")),
+        );
+        let wrapper = set.compressed();
+        assert_eq!(wrapper.codec, Codec::Lz);
+        assert!(wrapper.payload.len() * 2 < set.encode().len());
+        let unwrapped = MessageSet::unwrap_message(&wrapper).unwrap();
+        assert_eq!(unwrapped.len(), 200);
+        assert_eq!(unwrapped[5].payload, set.messages[5].payload);
+    }
+
+    #[test]
+    fn incompressible_set_still_round_trips() {
+        use rand::RngCore;
+        let mut rng = rand::rng();
+        let payloads: Vec<Vec<u8>> = (0..5)
+            .map(|_| {
+                let mut v = vec![0u8; 512];
+                rng.fill_bytes(&mut v);
+                v
+            })
+            .collect();
+        let set = MessageSet::from_payloads(payloads.clone());
+        let wrapper = set.compressed();
+        assert_eq!(wrapper.codec, Codec::Lz);
+        let unwrapped = MessageSet::unwrap_message(&wrapper).unwrap();
+        assert_eq!(unwrapped.len(), 5);
+        assert_eq!(unwrapped[2].payload.as_ref(), &payloads[2][..]);
+    }
+
+    #[test]
+    fn plain_message_unwraps_to_itself() {
+        let m = Message::new(&b"solo"[..]);
+        assert_eq!(MessageSet::unwrap_message(&m).unwrap(), vec![m]);
+    }
+}

@@ -1,0 +1,168 @@
+//! Semi-synchronous binlog shipping and replica application.
+
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::binlog::BinlogEntry;
+use crate::db::{Database, DbError};
+use crate::row::Scn;
+
+/// Failure to ship a binlog entry to its second home.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShipError(pub String);
+
+impl fmt::Display for ShipError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ship error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ShipError {}
+
+/// Destination of semi-synchronous binlog shipping. In the paper this is
+/// "MySQL replication to publish the binlog of all master partitions on a
+/// storage node to the Databus relay" (§IV.B); `li-databus` implements this
+/// trait on its relay.
+pub trait Shipper: Send + Sync {
+    /// Delivers one committed entry from database `source`. Returning an
+    /// error aborts the commit (the transaction never becomes visible).
+    fn ship(&self, source: &str, entry: &BinlogEntry) -> Result<(), ShipError>;
+}
+
+/// Blanket impl so closures can act as shippers in tests and examples.
+impl<F> Shipper for F
+where
+    F: Fn(&str, &BinlogEntry) -> Result<(), ShipError> + Send + Sync,
+{
+    fn ship(&self, source: &str, entry: &BinlogEntry) -> Result<(), ShipError> {
+        self(source, entry)
+    }
+}
+
+/// Applies a master's binlog stream to a replica database in SCN order,
+/// buffering out-of-order deliveries — the read-replica use case the paper
+/// lists for Databus ("database replication for read scalability").
+pub struct ReplicaApplier {
+    replica: Arc<Database>,
+    pending: Mutex<Vec<BinlogEntry>>,
+}
+
+impl ReplicaApplier {
+    /// Wraps a replica database.
+    pub fn new(replica: Arc<Database>) -> Self {
+        ReplicaApplier {
+            replica,
+            pending: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The wrapped replica.
+    pub fn replica(&self) -> &Arc<Database> {
+        &self.replica
+    }
+
+    /// Offers one entry; applies it and any now-unblocked buffered entries.
+    /// Returns the replica's applied SCN after the call.
+    pub fn offer(&self, entry: BinlogEntry) -> Result<Scn, DbError> {
+        let mut pending = self.pending.lock();
+        pending.push(entry);
+        pending.sort_by_key(|e| e.scn);
+        loop {
+            let next_scn = self.replica.applied_scn() + 1;
+            match pending.iter().position(|e| e.scn == next_scn) {
+                Some(idx) => {
+                    let entry = pending.remove(idx);
+                    self.replica.apply_replicated(&entry)?;
+                }
+                None => {
+                    // Drop anything stale (already applied duplicates).
+                    pending.retain(|e| e.scn > self.replica.applied_scn());
+                    return Ok(self.replica.applied_scn());
+                }
+            }
+        }
+    }
+
+    /// Number of buffered out-of-order entries.
+    pub fn pending_len(&self) -> usize {
+        self.pending.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::row::RowKey;
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+    fn primary() -> Database {
+        let db = Database::new("primary");
+        db.create_table("t").unwrap();
+        db
+    }
+
+    #[test]
+    fn semi_sync_ships_before_visibility() {
+        let db = primary();
+        let shipped = Arc::new(AtomicU64::new(0));
+        let counter = shipped.clone();
+        db.set_shipper(Arc::new(move |_: &str, entry: &BinlogEntry| {
+            counter.store(entry.scn, Ordering::SeqCst);
+            Ok(())
+        }));
+        db.put_one("t", RowKey::single("k"), &b"v"[..], 1).unwrap();
+        assert_eq!(shipped.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn ship_failure_aborts_commit() {
+        let db = primary();
+        let fail = Arc::new(AtomicBool::new(true));
+        let flag = fail.clone();
+        db.set_shipper(Arc::new(move |_: &str, _: &BinlogEntry| {
+            if flag.load(Ordering::SeqCst) {
+                Err(ShipError("relay unreachable".into()))
+            } else {
+                Ok(())
+            }
+        }));
+        let err = db.put_one("t", RowKey::single("k"), &b"v"[..], 1).unwrap_err();
+        assert!(matches!(err, DbError::ShipFailed(_)));
+        // Not visible, not logged.
+        assert_eq!(db.get("t", &RowKey::single("k")).unwrap(), None);
+        assert_eq!(db.last_scn(), 0);
+        // Relay back: the same write succeeds with SCN 1 (no gap).
+        fail.store(false, Ordering::SeqCst);
+        assert_eq!(db.put_one("t", RowKey::single("k"), &b"v"[..], 1).unwrap(), 1);
+    }
+
+    #[test]
+    fn replica_applier_handles_reorder_and_duplicates() {
+        let db = primary();
+        for i in 0..5 {
+            db.put_one("t", RowKey::single(format!("k{i}")), &b"v"[..], 1).unwrap();
+        }
+        let entries = db.binlog_after(0);
+
+        let replica = Arc::new(Database::new("replica"));
+        replica.create_table("t").unwrap();
+        let applier = ReplicaApplier::new(replica.clone());
+
+        // Deliver out of order with a duplicate.
+        applier.offer(entries[1].clone()).unwrap(); // scn 2 buffered
+        assert_eq!(replica.applied_scn(), 0);
+        assert_eq!(applier.pending_len(), 1);
+        applier.offer(entries[0].clone()).unwrap(); // unblocks 1 and 2
+        assert_eq!(replica.applied_scn(), 2);
+        applier.offer(entries[0].clone()).unwrap(); // stale duplicate
+        assert_eq!(replica.applied_scn(), 2);
+        assert_eq!(applier.pending_len(), 0);
+        applier.offer(entries[4].clone()).unwrap();
+        applier.offer(entries[3].clone()).unwrap();
+        applier.offer(entries[2].clone()).unwrap();
+        assert_eq!(replica.applied_scn(), 5);
+        assert_eq!(replica.row_count("t").unwrap(), 5);
+    }
+}

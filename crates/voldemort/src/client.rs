@@ -1,0 +1,707 @@
+//! The client API of Figure II.2 and the quorum coordination behind it.
+//!
+//! ```text
+//! 1) VectorClock<V> get (K key)
+//! 2) put (K key, VectorClock<V> value)
+//! 3) VectorClock<V> get (K key, T transform)
+//! 4) put (K key, VectorClock<V> value, T transform)
+//! 5) applyUpdate(UpdateAction action, int retries)
+//! ```
+//!
+//! This client implements **client-side routing** (the paper notes routing
+//! is pluggable between client and server side): it holds the full
+//! topology, computes the preference list, talks to R/W replicas itself,
+//! performs read repair on stale replicas, and parks hinted-handoff writes
+//! on fallback nodes when replicas are unreachable.
+
+use bytes::Bytes;
+use li_commons::clock::{resolve_siblings, VectorClock, Versioned};
+use li_commons::ring::NodeId;
+use std::sync::Arc;
+
+use crate::cluster::VoldemortCluster;
+use crate::error::VoldemortError;
+use crate::server::Hint;
+use crate::store::StoreDef;
+
+/// A server-side transform (API methods 3 and 4): runs against the stored
+/// value *on the node*, saving the round trip of shipping the whole value.
+/// "For example, if the value is a list, we can run a transformed get to
+/// retrieve a sub-list or a transformed put to append an entity to a list."
+pub trait Transform: Send + Sync {
+    /// Maps the stored value on a transformed get.
+    fn on_get(&self, value: &[u8]) -> Bytes;
+
+    /// Produces the new stored value from the current one and the client's
+    /// input on a transformed put.
+    fn on_put(&self, current: Option<&[u8]>, input: &[u8]) -> Bytes;
+}
+
+/// The read-modify-write closure for [`StoreClient::apply_update`]: given
+/// the current siblings (empty when absent), produce the new value, or
+/// `None` to abort.
+pub type UpdateAction<'a> = &'a dyn Fn(&[Versioned<Bytes>]) -> Option<Bytes>;
+
+/// Which side coordinates requests. "Voldemort supports both server and
+/// client side routing by moving the routing and associated modules"
+/// (§II.B): with client-side routing the client talks to every replica
+/// itself; with server-side routing it makes one hop to a coordinator
+/// node, which then fans out to the replicas.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoutingMode {
+    /// The client holds the topology and coordinates quorums itself.
+    ClientSide,
+    /// All requests funnel through the given coordinator node.
+    ServerSide(NodeId),
+}
+
+/// A client bound to one store.
+pub struct StoreClient {
+    cluster: Arc<VoldemortCluster>,
+    store: StoreDef,
+    routing: RoutingMode,
+}
+
+impl StoreClient {
+    /// Virtual node id the client occupies on the simulated network.
+    pub const CLIENT_NODE: NodeId = NodeId(u16::MAX);
+
+    pub(crate) fn new(cluster: Arc<VoldemortCluster>, store: StoreDef) -> Self {
+        StoreClient {
+            cluster,
+            store,
+            routing: RoutingMode::ClientSide,
+        }
+    }
+
+    /// Switches to server-side routing through `coordinator`: every
+    /// request pays one extra hop to the coordinator, which then runs the
+    /// replica fan-out (the module relocation the pluggable architecture
+    /// allows).
+    #[must_use]
+    pub fn with_server_routing(mut self, coordinator: NodeId) -> Self {
+        self.routing = RoutingMode::ServerSide(coordinator);
+        self
+    }
+
+    /// The node that acts as the origin of replica traffic.
+    fn origin(&self) -> NodeId {
+        match self.routing {
+            RoutingMode::ClientSide => Self::CLIENT_NODE,
+            RoutingMode::ServerSide(coordinator) => coordinator,
+        }
+    }
+
+    /// For server-side routing: the client -> coordinator hop itself.
+    fn enter(&self) -> Result<(), VoldemortError> {
+        if let RoutingMode::ServerSide(coordinator) = self.routing {
+            self.cluster
+                .network()
+                .deliver(Self::CLIENT_NODE, coordinator)
+                .map_err(|e| VoldemortError::Net(coordinator, e))?;
+        }
+        Ok(())
+    }
+
+    /// The store definition this client operates under.
+    pub fn store_def(&self) -> &StoreDef {
+        &self.store
+    }
+
+    fn preference_list(&self, key: &[u8]) -> Result<Vec<NodeId>, VoldemortError> {
+        self.cluster.route(&self.store, key)
+    }
+
+    /// Attempts one remote call, maintaining the failure detector.
+    fn call<T>(
+        &self,
+        node: NodeId,
+        op: impl FnOnce() -> Result<T, VoldemortError>,
+    ) -> Result<T, VoldemortError> {
+        let detector = self.cluster.detector();
+        match self.cluster.network().deliver(self.origin(), node) {
+            Ok(_latency) => match op() {
+                Ok(value) => {
+                    detector.record_success(node);
+                    Ok(value)
+                }
+                // An application-level rejection (e.g. ObsoleteVersion) is
+                // a *successful* interaction for liveness purposes.
+                Err(e) => {
+                    detector.record_success(node);
+                    Err(e)
+                }
+            },
+            Err(net) => {
+                detector.record_failure(node);
+                Err(VoldemortError::Net(node, net))
+            }
+        }
+    }
+
+    /// API method 1: quorum get. Returns all concurrent siblings (empty
+    /// when the key is absent); conflict resolution is the application's
+    /// job, per the Dynamo design.
+    pub fn get(&self, key: &[u8]) -> Result<Vec<Versioned<Bytes>>, VoldemortError> {
+        self.get_internal(key, None)
+    }
+
+    /// API method 3: transformed get — the transform runs server-side on
+    /// each replica's value.
+    pub fn get_with_transform(
+        &self,
+        key: &[u8],
+        transform: &dyn Transform,
+    ) -> Result<Vec<Versioned<Bytes>>, VoldemortError> {
+        self.get_internal(key, Some(transform))
+    }
+
+    fn get_internal(
+        &self,
+        key: &[u8],
+        transform: Option<&dyn Transform>,
+    ) -> Result<Vec<Versioned<Bytes>>, VoldemortError> {
+        self.enter()?;
+        let prefs = self.preference_list(key)?;
+        let detector = self.cluster.detector();
+        let mut responses: Vec<(NodeId, Vec<Versioned<Bytes>>)> = Vec::new();
+        for &node in &prefs {
+            if responses.len() >= self.store.required_reads {
+                break;
+            }
+            if !detector.is_available(node) {
+                continue;
+            }
+            let Ok(server) = self.cluster.node(node) else {
+                continue;
+            };
+            match self.call(node, || server.get(&self.store.name, key)) {
+                Ok(versions) => responses.push((node, versions)),
+                Err(_) => continue,
+            }
+        }
+        if responses.len() < self.store.required_reads {
+            return Err(VoldemortError::InsufficientReads {
+                required: self.store.required_reads,
+                got: responses.len(),
+            });
+        }
+
+        // Merge all observed versions into the live sibling set.
+        let mut merged: Vec<Versioned<Bytes>> = Vec::new();
+        for (_, versions) in &responses {
+            for version in versions {
+                resolve_siblings(&mut merged, version.clone());
+            }
+        }
+
+        // Read repair: push missing versions back to stale responders.
+        for (node, versions) in &responses {
+            for version in &merged {
+                let has = versions.iter().any(|v| v.clock == version.clock);
+                if !has {
+                    if let Ok(server) = self.cluster.node(*node) {
+                        let _ = self.call(*node, || {
+                            server.force_put(&self.store.name, key, version.clone())
+                        });
+                    }
+                }
+            }
+        }
+
+        match transform {
+            Some(t) => Ok(merged
+                .into_iter()
+                .map(|v| {
+                    let transformed = t.on_get(&v.value);
+                    Versioned::new(v.clock, transformed)
+                })
+                .collect()),
+            None => Ok(merged),
+        }
+    }
+
+    /// API method 2: quorum put. `clock` must be the version the caller
+    /// read (or empty for a first write); the coordinator increments it and
+    /// requires W replica acknowledgements. Unreachable replicas get their
+    /// write parked as a hint on the next available node (sloppy quorum).
+    pub fn put(
+        &self,
+        key: &[u8],
+        clock: &VectorClock,
+        value: Bytes,
+    ) -> Result<VectorClock, VoldemortError> {
+        self.put_internal(key, clock, value, None)
+    }
+
+    /// Convenience for a first write (empty base clock).
+    pub fn put_initial(&self, key: &[u8], value: Bytes) -> Result<VectorClock, VoldemortError> {
+        self.put(key, &VectorClock::new(), value)
+    }
+
+    /// API method 4: transformed put — each replica derives the stored
+    /// value from its current value and the client's (small) input.
+    pub fn put_with_transform(
+        &self,
+        key: &[u8],
+        clock: &VectorClock,
+        input: Bytes,
+        transform: &dyn Transform,
+    ) -> Result<VectorClock, VoldemortError> {
+        self.put_internal(key, clock, input, Some(transform))
+    }
+
+    fn put_internal(
+        &self,
+        key: &[u8],
+        clock: &VectorClock,
+        value: Bytes,
+        transform: Option<&dyn Transform>,
+    ) -> Result<VectorClock, VoldemortError> {
+        self.enter()?;
+        let prefs = self.preference_list(key)?;
+        // The first replica that actually accepts the write acts as the
+        // coordinator: its node id stamps the incremented vector clock, as
+        // in Dynamo. Two writers racing through disjoint replica subsets
+        // therefore produce *concurrent* clocks (siblings), while writers
+        // sharing a replica collide on the optimistic lock.
+        let mut committed_clock: Option<VectorClock> = None;
+
+        let detector = self.cluster.detector();
+        let mut acks = 0usize;
+        let mut failed_replicas: Vec<NodeId> = Vec::new();
+        for &node in &prefs {
+            let server = match self.cluster.node(node) {
+                Ok(s) => s,
+                Err(_) => {
+                    failed_replicas.push(node);
+                    continue;
+                }
+            };
+            if !detector.is_available(node) {
+                failed_replicas.push(node);
+                continue;
+            }
+            let candidate = committed_clock
+                .clone()
+                .unwrap_or_else(|| clock.incremented(node.0));
+            let outcome = self.call(node, || {
+                let stored_value = match transform {
+                    Some(t) => {
+                        let current = server.get(&self.store.name, key)?;
+                        // Transform against the newest value this replica has.
+                        let current_bytes = current.first().map(|v| v.value.clone());
+                        t.on_put(current_bytes.as_deref(), &value)
+                    }
+                    None => value.clone(),
+                };
+                server.put(
+                    &self.store.name,
+                    key,
+                    Versioned::new(candidate.clone(), stored_value),
+                )
+            });
+            match outcome {
+                Ok(()) => {
+                    committed_clock.get_or_insert(candidate);
+                    acks += 1;
+                }
+                Err(VoldemortError::ObsoleteVersion) => {
+                    // Optimistic lock: someone committed a newer version.
+                    return Err(VoldemortError::ObsoleteVersion);
+                }
+                // An engine-level rejection is a property of the store, not
+                // of this replica — no other replica (or hint) will accept
+                // it either.
+                Err(e @ VoldemortError::UnsupportedOperation(_)) => return Err(e),
+                Err(_) => failed_replicas.push(node),
+            }
+        }
+        let new_clock = committed_clock
+            .unwrap_or_else(|| clock.incremented(prefs[0].0));
+
+        // Hinted handoff: park failed replicas' writes on fallback nodes.
+        if acks < self.store.required_writes && !failed_replicas.is_empty() {
+            let fallbacks: Vec<NodeId> = self
+                .cluster
+                .node_ids()
+                .into_iter()
+                .filter(|n| !prefs.contains(n) && detector.is_available(*n))
+                .collect();
+            let mut fallback_iter = fallbacks.into_iter();
+            for &target in &failed_replicas {
+                if acks >= self.store.required_writes {
+                    break;
+                }
+                let Some(holder_id) = fallback_iter.next() else {
+                    break;
+                };
+                let Ok(holder) = self.cluster.node(holder_id) else {
+                    continue;
+                };
+                let hint = Hint {
+                    store: self.store.name.clone(),
+                    target,
+                    key: Bytes::copy_from_slice(key),
+                    value: Versioned::new(new_clock.clone(), value.clone()),
+                };
+                if self.call(holder_id, || {
+                    holder.store_hint(hint);
+                    Ok(())
+                })
+                .is_ok()
+                {
+                    acks += 1;
+                }
+            }
+        }
+
+        if acks < self.store.required_writes {
+            return Err(VoldemortError::InsufficientWrites {
+                required: self.store.required_writes,
+                got: acks,
+            });
+        }
+        Ok(new_clock)
+    }
+
+    /// Quorum delete at version `clock`.
+    pub fn delete(&self, key: &[u8], clock: &VectorClock) -> Result<bool, VoldemortError> {
+        self.enter()?;
+        let prefs = self.preference_list(key)?;
+        let mut acks = 0usize;
+        let mut any_deleted = false;
+        for &node in &prefs {
+            let Ok(server) = self.cluster.node(node) else {
+                continue;
+            };
+            if let Ok(deleted) = self.call(node, || server.delete(&self.store.name, key, clock)) {
+                acks += 1;
+                any_deleted |= deleted;
+            }
+        }
+        if acks < self.store.required_writes {
+            return Err(VoldemortError::InsufficientWrites {
+                required: self.store.required_writes,
+                got: acks,
+            });
+        }
+        Ok(any_deleted)
+    }
+
+    /// Batch get: one call, many keys (Voldemort's `getAll`). Keys that
+    /// fail their read quorum are simply absent from the result map, so a
+    /// partially degraded cluster still serves what it can.
+    pub fn get_all(
+        &self,
+        keys: &[&[u8]],
+    ) -> Result<std::collections::HashMap<Vec<u8>, Vec<Versioned<Bytes>>>, VoldemortError> {
+        let mut out = std::collections::HashMap::with_capacity(keys.len());
+        for &key in keys {
+            match self.get(key) {
+                Ok(versions) if !versions.is_empty() => {
+                    out.insert(key.to_vec(), versions);
+                }
+                Ok(_) => {}
+                Err(VoldemortError::InsufficientReads { .. }) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(out)
+    }
+
+    /// API method 5: `applyUpdate` — encapsulated read-modify-write with
+    /// optimistic-lock retry, "used in cases like counters where
+    /// 'read, modify, write if no change' loops are required."
+    pub fn apply_update(
+        &self,
+        key: &[u8],
+        retries: u32,
+        action: UpdateAction<'_>,
+    ) -> Result<VectorClock, VoldemortError> {
+        for _ in 0..=retries {
+            let siblings = self.get(key)?;
+            let Some(new_value) = action(&siblings) else {
+                // Action chose to abort; report the current clock.
+                return Ok(siblings
+                    .first()
+                    .map(|v| v.clock.clone())
+                    .unwrap_or_default());
+            };
+            // Base clock dominates all observed siblings, so a successful
+            // put also reconciles any conflict.
+            let base = siblings
+                .iter()
+                .fold(VectorClock::new(), |acc, v| acc.merged(&v.clock));
+            match self.put(key, &base, new_value) {
+                Ok(clock) => return Ok(clock),
+                Err(VoldemortError::ObsoleteVersion) => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        Err(VoldemortError::RetriesExhausted(retries))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::StoreDef;
+
+    fn cluster_with_store(
+        nodes: u16,
+        n: usize,
+        r: usize,
+        w: usize,
+    ) -> (Arc<VoldemortCluster>, StoreClient) {
+        let cluster = VoldemortCluster::new(32, nodes).unwrap();
+        cluster
+            .add_store(StoreDef::read_write("s").with_quorum(n, r, w))
+            .unwrap();
+        let client = cluster.client("s").unwrap();
+        (cluster, client)
+    }
+
+    #[test]
+    fn put_get_round_trip() {
+        let (_cluster, client) = cluster_with_store(3, 2, 1, 1);
+        let clock = client.put_initial(b"k", Bytes::from_static(b"v1")).unwrap();
+        let got = client.get(b"k").unwrap();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].value.as_ref(), b"v1");
+        assert_eq!(got[0].clock, clock);
+    }
+
+    #[test]
+    fn get_absent_key_is_empty() {
+        let (_cluster, client) = cluster_with_store(3, 2, 1, 1);
+        assert!(client.get(b"missing").unwrap().is_empty());
+    }
+
+    #[test]
+    fn stale_put_gets_obsolete_version_error() {
+        let (_cluster, client) = cluster_with_store(3, 2, 2, 2);
+        let c1 = client.put_initial(b"k", Bytes::from_static(b"v1")).unwrap();
+        let _c2 = client.put(b"k", &c1, Bytes::from_static(b"v2")).unwrap();
+        // Re-using the stale clock c0 (empty) fails the optimistic lock.
+        let err = client
+            .put(b"k", &VectorClock::new(), Bytes::from_static(b"v3"))
+            .unwrap_err();
+        assert_eq!(err, VoldemortError::ObsoleteVersion);
+    }
+
+    #[test]
+    fn writes_replicate_to_n_nodes() {
+        let (cluster, client) = cluster_with_store(4, 3, 2, 2);
+        client.put_initial(b"k", Bytes::from_static(b"v")).unwrap();
+        let ring = cluster.ring();
+        let prefs = ring.preference_list(b"k", 3).unwrap();
+        for node in prefs {
+            let versions = cluster.node(node).unwrap().get("s", b"k").unwrap();
+            assert_eq!(versions.len(), 1, "replica {node} missing value");
+        }
+    }
+
+    #[test]
+    fn delete_removes_value() {
+        let (_cluster, client) = cluster_with_store(3, 2, 1, 1);
+        let clock = client.put_initial(b"k", Bytes::from_static(b"v")).unwrap();
+        assert!(client.delete(b"k", &clock).unwrap());
+        assert!(client.get(b"k").unwrap().is_empty());
+    }
+
+    struct ListAppend;
+    impl Transform for ListAppend {
+        fn on_get(&self, value: &[u8]) -> Bytes {
+            // Return only the last element of a comma-separated list —
+            // the "sub-list" example from the paper.
+            let s = std::str::from_utf8(value).unwrap_or("");
+            Bytes::copy_from_slice(s.rsplit(',').next().unwrap_or("").as_bytes())
+        }
+        fn on_put(&self, current: Option<&[u8]>, input: &[u8]) -> Bytes {
+            match current {
+                Some(existing) if !existing.is_empty() => {
+                    let mut out = existing.to_vec();
+                    out.push(b',');
+                    out.extend_from_slice(input);
+                    Bytes::from(out)
+                }
+                _ => Bytes::copy_from_slice(input),
+            }
+        }
+    }
+
+    #[test]
+    fn transforms_run_server_side() {
+        let (_cluster, client) = cluster_with_store(3, 2, 2, 2);
+        let c1 = client
+            .put_with_transform(b"follows", &VectorClock::new(), Bytes::from_static(b"li"), &ListAppend)
+            .unwrap();
+        let c2 = client
+            .put_with_transform(b"follows", &c1, Bytes::from_static(b"msft"), &ListAppend)
+            .unwrap();
+        let full = client.get(b"follows").unwrap();
+        assert_eq!(full[0].value.as_ref(), b"li,msft");
+        let tail = client.get_with_transform(b"follows", &ListAppend).unwrap();
+        assert_eq!(tail[0].value.as_ref(), b"msft");
+        let _ = c2;
+    }
+
+    #[test]
+    fn apply_update_implements_counters() {
+        let (_cluster, client) = cluster_with_store(3, 3, 2, 2);
+        for _ in 0..10 {
+            client
+                .apply_update(b"counter", 3, &|siblings| {
+                    let current: u64 = siblings
+                        .first()
+                        .and_then(|v| std::str::from_utf8(&v.value).ok())
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or(0);
+                    Some(Bytes::from((current + 1).to_string()))
+                })
+                .unwrap();
+        }
+        let got = client.get(b"counter").unwrap();
+        assert_eq!(got[0].value.as_ref(), b"10");
+    }
+
+    #[test]
+    fn apply_update_abort_leaves_value() {
+        let (_cluster, client) = cluster_with_store(3, 2, 1, 1);
+        client.put_initial(b"k", Bytes::from_static(b"keep")).unwrap();
+        client
+            .apply_update(b"k", 3, &|_siblings| None)
+            .unwrap();
+        assert_eq!(client.get(b"k").unwrap()[0].value.as_ref(), b"keep");
+    }
+
+    #[test]
+    fn get_all_returns_present_keys_only() {
+        let (_cluster, client) = cluster_with_store(3, 2, 1, 1);
+        client.put_initial(b"a", Bytes::from_static(b"1")).unwrap();
+        client.put_initial(b"b", Bytes::from_static(b"2")).unwrap();
+        let got = client.get_all(&[b"a", b"b", b"missing"]).unwrap();
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[b"a".as_slice()][0].value.as_ref(), b"1");
+        assert!(!got.contains_key(b"missing".as_slice()));
+    }
+
+    #[test]
+    fn server_side_routing_same_semantics_extra_hop() {
+        let (cluster, _direct) = cluster_with_store(3, 2, 2, 2);
+        let coordinator = NodeId(0);
+        let client = cluster.client("s").unwrap().with_server_routing(coordinator);
+        let c1 = client.put_initial(b"k", Bytes::from_static(b"v1")).unwrap();
+        assert_eq!(client.get(b"k").unwrap()[0].value.as_ref(), b"v1");
+        client.put(b"k", &c1, Bytes::from_static(b"v2")).unwrap();
+        assert_eq!(client.get(b"k").unwrap()[0].value.as_ref(), b"v2");
+        // The coordinator is a single point for this client: losing it
+        // fails requests (client-side routing would route around it).
+        cluster.network().crash(coordinator);
+        assert!(matches!(
+            client.get(b"k"),
+            Err(VoldemortError::Net(node, _)) if node == coordinator
+        ));
+        let direct = cluster.client("s").unwrap();
+        assert!(direct.get(b"k").is_ok(), "client-side routing unaffected");
+    }
+
+    #[test]
+    fn quorum_read_fails_when_too_many_replicas_down() {
+        let (cluster, client) = cluster_with_store(3, 3, 2, 2);
+        client.put_initial(b"k", Bytes::from_static(b"v")).unwrap();
+        let ring = cluster.ring();
+        let prefs = ring.preference_list(b"k", 3).unwrap();
+        cluster.network().crash(prefs[0]);
+        cluster.network().crash(prefs[1]);
+        let err = client.get(b"k").unwrap_err();
+        assert!(matches!(err, VoldemortError::InsufficientReads { .. }));
+    }
+
+    #[test]
+    fn read_repair_fixes_stale_replica() {
+        let (cluster, client) = cluster_with_store(3, 2, 2, 1);
+        let ring = cluster.ring();
+        let prefs = ring.preference_list(b"k", 2).unwrap();
+        // Write v1 everywhere, then v2 while replica 1 is down.
+        let c1 = client.put_initial(b"k", Bytes::from_static(b"v1")).unwrap();
+        cluster.network().crash(prefs[1]);
+        let c2 = client.put(b"k", &c1, Bytes::from_static(b"v2")).unwrap();
+        cluster.network().restart(prefs[1]);
+        // Replica 1 is stale.
+        let stale = cluster.node(prefs[1]).unwrap().get("s", b"k").unwrap();
+        assert_eq!(stale[0].clock, c1);
+        // Quorum read (R=2) observes both, returns v2, and repairs.
+        let got = client.get(b"k").unwrap();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].value.as_ref(), b"v2");
+        let repaired = cluster.node(prefs[1]).unwrap().get("s", b"k").unwrap();
+        assert_eq!(repaired.len(), 1);
+        assert_eq!(repaired[0].clock, c2, "read repair wrote v2 back");
+    }
+
+    #[test]
+    fn hinted_handoff_parks_and_replays() {
+        let (cluster, client) = cluster_with_store(4, 2, 1, 2);
+        let ring = cluster.ring();
+        let prefs = ring.preference_list(b"k", 2).unwrap();
+        cluster.network().crash(prefs[1]);
+        // W=2 met via 1 live replica + 1 hint on a fallback node.
+        client.put_initial(b"k", Bytes::from_static(b"v")).unwrap();
+        assert_eq!(cluster.pending_hints(), 1);
+        // Target recovers; replay drains the hint onto it.
+        cluster.network().restart(prefs[1]);
+        assert_eq!(cluster.deliver_hints(), 1);
+        assert_eq!(cluster.pending_hints(), 0);
+        let recovered = cluster.node(prefs[1]).unwrap().get("s", b"k").unwrap();
+        assert_eq!(recovered.len(), 1);
+        assert_eq!(recovered[0].value.as_ref(), b"v");
+    }
+
+    #[test]
+    fn write_quorum_fails_when_no_fallbacks() {
+        // 2 nodes, N=2: no fallback nodes exist outside the preference list.
+        let (cluster, client) = cluster_with_store(2, 2, 1, 2);
+        let ring = cluster.ring();
+        let prefs = ring.preference_list(b"k", 2).unwrap();
+        cluster.network().crash(prefs[1]);
+        let err = client.put_initial(b"k", Bytes::from_static(b"v")).unwrap_err();
+        assert!(matches!(err, VoldemortError::InsufficientWrites { got: 1, .. }));
+    }
+
+    #[test]
+    fn concurrent_writers_produce_siblings_resolved_by_update() {
+        let (cluster, client) = cluster_with_store(4, 3, 3, 1);
+        let ring = cluster.ring();
+        let prefs = ring.preference_list(b"k", 3).unwrap();
+        // Writer A reaches only replica 0; writer B only replica 1
+        // (simulated by crashing the others during each write; W=1).
+        let c0 = client.put_initial(b"k", Bytes::from_static(b"base")).unwrap();
+        cluster.network().crash(prefs[1]);
+        cluster.network().crash(prefs[2]);
+        let _a = client.put(b"k", &c0, Bytes::from_static(b"A")).unwrap();
+        cluster.network().restart(prefs[1]);
+        cluster.network().restart(prefs[2]);
+        cluster.network().crash(prefs[0]);
+        let _b = client.put(b"k", &c0, Bytes::from_static(b"B")).unwrap();
+        cluster.network().restart(prefs[0]);
+        // R=3 read sees both branches as concurrent siblings...
+        let siblings = client.get(b"k").unwrap();
+        assert_eq!(siblings.len(), 2, "expected divergent branches");
+        // ...which apply_update reconciles (deterministically: max value).
+        client
+            .apply_update(b"k", 3, &|siblings| {
+                let winner = siblings
+                    .iter()
+                    .map(|v| v.value.clone())
+                    .max()
+                    .unwrap_or_default();
+                Some(winner)
+            })
+            .unwrap();
+        let resolved = client.get(b"k").unwrap();
+        assert_eq!(resolved.len(), 1);
+        assert_eq!(resolved[0].value.as_ref(), b"B");
+    }
+}

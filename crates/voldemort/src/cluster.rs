@@ -1,0 +1,417 @@
+//! The cluster runtime: nodes, topology, failure detection, admin service.
+
+use li_commons::failure::{FailureDetector, FailureDetectorConfig};
+use li_commons::ring::{HashRing, NodeId, PartitionId, ZoneId};
+use li_commons::sim::{Clock, RealClock, SimNetwork};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::Arc;
+
+use crate::client::StoreClient;
+use crate::engine::{BdbLikeEngine, MemoryEngine, StorageEngine};
+use crate::error::VoldemortError;
+use crate::readonly::{ReadOnlyEngine, ReadOnlyStore};
+use crate::routing::Router;
+use crate::server::VoldemortNode;
+use crate::store::{EngineKind, StoreDef};
+
+/// A whole Voldemort cluster, in process. Nodes are real state machines;
+/// the network between the coordinator and nodes is the injectable
+/// [`SimNetwork`], so crashes, partitions, and drops exercise the same code
+/// paths they would in production.
+pub struct VoldemortCluster {
+    nodes: RwLock<HashMap<NodeId, Arc<VoldemortNode>>>,
+    router: RwLock<Router>,
+    stores: RwLock<HashMap<String, StoreDef>>,
+    network: SimNetwork,
+    detector: FailureDetector,
+    clock: Arc<dyn Clock>,
+}
+
+impl std::fmt::Debug for VoldemortCluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("VoldemortCluster")
+            .field("nodes", &self.nodes.read().len())
+            .field("stores", &self.stores.read().keys().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+impl VoldemortCluster {
+    /// Builds a single-zone cluster of `node_count` nodes over
+    /// `num_partitions` logical partitions, with a reliable network and the
+    /// real clock.
+    pub fn new(num_partitions: u32, node_count: u16) -> Result<Arc<Self>, VoldemortError> {
+        let nodes: Vec<NodeId> = (0..node_count).map(NodeId).collect();
+        let ring = HashRing::balanced(num_partitions, &nodes)?;
+        Self::with_parts(ring, SimNetwork::reliable(), Arc::new(RealClock::new()))
+    }
+
+    /// Builds a two-zone cluster (the paper's two-datacenter deployments):
+    /// even nodes in zone 0, odd nodes in zone 1.
+    pub fn new_two_zone(
+        num_partitions: u32,
+        node_count: u16,
+    ) -> Result<Arc<Self>, VoldemortError> {
+        let layout: Vec<(NodeId, ZoneId)> = (0..node_count)
+            .map(|i| (NodeId(i), ZoneId((i % 2) as u8)))
+            .collect();
+        let ring = HashRing::zoned(num_partitions, &layout)?;
+        Self::with_parts(ring, SimNetwork::reliable(), Arc::new(RealClock::new()))
+    }
+
+    /// Fully-injected constructor for failure testing.
+    pub fn with_parts(
+        ring: HashRing,
+        network: SimNetwork,
+        clock: Arc<dyn Clock>,
+    ) -> Result<Arc<Self>, VoldemortError> {
+        let nodes = ring
+            .nodes()
+            .into_iter()
+            .map(|id| (id, Arc::new(VoldemortNode::new(id))))
+            .collect();
+        Ok(Arc::new(VoldemortCluster {
+            nodes: RwLock::new(nodes),
+            router: RwLock::new(Router::new(ring)),
+            stores: RwLock::new(HashMap::new()),
+            network,
+            detector: FailureDetector::new(FailureDetectorConfig::default(), clock.clone()),
+            clock,
+        }))
+    }
+
+    /// The injectable network (crash/partition/drop controls).
+    pub fn network(&self) -> &SimNetwork {
+        &self.network
+    }
+
+    /// The failure detector shared by all clients of this cluster.
+    pub fn detector(&self) -> &FailureDetector {
+        &self.detector
+    }
+
+    /// The cluster clock.
+    pub fn clock(&self) -> &Arc<dyn Clock> {
+        &self.clock
+    }
+
+    /// A node handle.
+    pub fn node(&self, id: NodeId) -> Result<Arc<VoldemortNode>, VoldemortError> {
+        self.nodes
+            .read()
+            .get(&id)
+            .cloned()
+            .ok_or_else(|| VoldemortError::Routing(format!("no node {id}")))
+    }
+
+    /// All node ids.
+    pub fn node_ids(&self) -> Vec<NodeId> {
+        let mut ids: Vec<NodeId> = self.nodes.read().keys().copied().collect();
+        ids.sort();
+        ids
+    }
+
+    /// Snapshot of the current topology.
+    pub fn ring(&self) -> HashRing {
+        self.router.read().ring().clone()
+    }
+
+    pub(crate) fn route(
+        &self,
+        store: &StoreDef,
+        key: &[u8],
+    ) -> Result<Vec<NodeId>, VoldemortError> {
+        self.router.read().route(store, key)
+    }
+
+    /// Creates a store on every node (admin service "add store" — no
+    /// downtime, existing stores unaffected). Read-write engines only; use
+    /// [`VoldemortCluster::add_read_only_store`] for the pipeline-fed kind.
+    pub fn add_store(&self, def: StoreDef) -> Result<(), VoldemortError> {
+        def.validate().map_err(VoldemortError::Admin)?;
+        if def.engine == EngineKind::ReadOnly {
+            return Err(VoldemortError::Admin(
+                "read-only stores need a directory; use add_read_only_store".into(),
+            ));
+        }
+        let mut stores = self.stores.write();
+        if stores.contains_key(&def.name) {
+            return Err(VoldemortError::DuplicateStore(def.name));
+        }
+        for node in self.nodes.read().values() {
+            let engine: Arc<dyn StorageEngine> = match def.engine {
+                EngineKind::Memory => Arc::new(MemoryEngine::new()),
+                EngineKind::BdbLike => Arc::new(BdbLikeEngine::new()),
+                EngineKind::ReadOnly => unreachable!("rejected above"),
+            };
+            node.add_store(&def.name, engine)?;
+        }
+        stores.insert(def.name.clone(), def);
+        Ok(())
+    }
+
+    /// Creates a read-only store across the cluster, rooted at
+    /// `dir/node-<id>/<store>` on each node. Returns the per-node store
+    /// handles for driving the pull/swap pipeline.
+    pub fn add_read_only_store(
+        &self,
+        def: StoreDef,
+        dir: &Path,
+    ) -> Result<Vec<Arc<ReadOnlyStore>>, VoldemortError> {
+        def.validate().map_err(VoldemortError::Admin)?;
+        let mut stores = self.stores.write();
+        if stores.contains_key(&def.name) {
+            return Err(VoldemortError::DuplicateStore(def.name));
+        }
+        let ring = self.router.read().ring().clone();
+        let mut handles = Vec::new();
+        for id in self.node_ids() {
+            let store = Arc::new(ReadOnlyStore::open(
+                dir.join(format!("node-{}", id.0)).join(&def.name),
+                id,
+                ring.clone(),
+                def.replication,
+            )?);
+            self.node(id)?
+                .add_store(&def.name, Arc::new(ReadOnlyEngine::new(store.clone())))?;
+            handles.push(store);
+        }
+        stores.insert(def.name.clone(), def);
+        Ok(handles)
+    }
+
+    /// Deletes a store from every node (admin "delete store").
+    pub fn delete_store(&self, name: &str) -> Result<(), VoldemortError> {
+        let mut stores = self.stores.write();
+        stores
+            .remove(name)
+            .ok_or_else(|| VoldemortError::UnknownStore(name.into()))?;
+        for node in self.nodes.read().values() {
+            node.remove_store(name)?;
+        }
+        Ok(())
+    }
+
+    /// The definition of `store`.
+    pub fn store_def(&self, store: &str) -> Result<StoreDef, VoldemortError> {
+        self.stores
+            .read()
+            .get(store)
+            .cloned()
+            .ok_or_else(|| VoldemortError::UnknownStore(store.into()))
+    }
+
+    /// Opens a client for `store`.
+    pub fn client(self: &Arc<Self>, store: &str) -> Result<StoreClient, VoldemortError> {
+        let def = self.store_def(store)?;
+        Ok(StoreClient::new(self.clone(), def))
+    }
+
+    /// Runs one round of asynchronous recovery probes: banned nodes that
+    /// are due get pinged over the network; reachable ones rejoin the
+    /// available pool. "Once marked down the node is considered online only
+    /// when an asynchronous thread is able to contact it again."
+    pub fn run_failure_probes(&self) {
+        for node in self.detector.nodes_due_for_probe() {
+            let reachable = self.network.deliver(StoreClient::CLIENT_NODE, node).is_ok()
+                && self.nodes.read().get(&node).is_some_and(|n| n.ping());
+            self.detector.probe_result(node, reachable);
+        }
+    }
+
+    /// Replays hinted-handoff hints whose targets are reachable again.
+    /// Returns the number of hints delivered.
+    pub fn deliver_hints(&self) -> usize {
+        let mut delivered = 0;
+        let targets: Vec<NodeId> = self.node_ids();
+        let holders: Vec<Arc<VoldemortNode>> = self.nodes.read().values().cloned().collect();
+        for holder in &holders {
+            for &target in &targets {
+                if target == holder.id() {
+                    continue;
+                }
+                if self.network.deliver(holder.id(), target).is_err() {
+                    continue;
+                }
+                for hint in holder.take_hints_for(target) {
+                    if let Ok(target_node) = self.node(target) {
+                        if target_node
+                            .force_put(&hint.store, &hint.key, hint.value.clone())
+                            .is_ok()
+                        {
+                            delivered += 1;
+                        } else {
+                            holder.store_hint(hint);
+                        }
+                    }
+                }
+            }
+        }
+        delivered
+    }
+
+    /// Total pending hints across the cluster.
+    pub fn pending_hints(&self) -> usize {
+        self.nodes.read().values().map(|n| n.hint_count()).sum()
+    }
+
+    /// Admin: migrates one logical partition to `to` for all read-write
+    /// stores, then atomically flips ownership in the routing table.
+    /// Requests during the copy keep hitting the old owner; the flip under
+    /// the router write lock is the "redirecting requests of moving
+    /// partitions to their new destination" moment.
+    pub fn migrate_partition(
+        &self,
+        partition: PartitionId,
+        to: NodeId,
+    ) -> Result<(), VoldemortError> {
+        // Copy phase (router still points at the donor).
+        let (donor, ring) = {
+            let router = self.router.read();
+            (router.ring().owner_of(partition), router.ring().clone())
+        };
+        if donor == to {
+            return Ok(());
+        }
+        let target = self.node(to)?;
+        let donor_node = self.node(donor)?;
+        let stores: Vec<StoreDef> = self.stores.read().values().cloned().collect();
+        for def in &stores {
+            if def.engine == EngineKind::ReadOnly {
+                // Read-only stores move via a fresh pull from the build
+                // output, not via entry copy.
+                continue;
+            }
+            let engine = donor_node.engine(&def.name)?;
+            for (key, versions) in engine.entries() {
+                let master = ring.master_partition(&key);
+                let replicas = ring.replica_partitions(master, def.replication)?;
+                if replicas.contains(&partition) {
+                    for version in versions {
+                        target.force_put(&def.name, &key, version)?;
+                    }
+                }
+            }
+        }
+        // Flip phase: atomic wrt routing.
+        let mut router = self.router.write();
+        router.ring_mut().reassign(partition, to)?;
+        Ok(())
+    }
+
+    /// Admin: adds a fresh node to the cluster (zone 0) without downtime —
+    /// creates it, attaches engines for every read-write store, registers
+    /// it in the topology, then migrates its fair share of partitions one
+    /// at a time. Returns the moved partitions.
+    ///
+    /// Read-only stores are excluded: their data moves by re-running the
+    /// pull phase against the next build, which already targets the new
+    /// topology.
+    pub fn rebalance_in_new_node(
+        &self,
+        id: NodeId,
+    ) -> Result<Vec<PartitionId>, VoldemortError> {
+        {
+            let mut nodes = self.nodes.write();
+            if nodes.contains_key(&id) {
+                return Err(VoldemortError::Admin(format!("{id} already in cluster")));
+            }
+            let node = Arc::new(VoldemortNode::new(id));
+            for def in self.stores.read().values() {
+                let engine: Arc<dyn StorageEngine> = match def.engine {
+                    EngineKind::Memory => Arc::new(MemoryEngine::new()),
+                    EngineKind::BdbLike => Arc::new(BdbLikeEngine::new()),
+                    EngineKind::ReadOnly => {
+                        return Err(VoldemortError::Admin(
+                            "cannot dynamically add a node to a cluster with read-only \
+                             stores; rebuild and re-pull instead"
+                                .into(),
+                        ))
+                    }
+                };
+                node.add_store(&def.name, engine)?;
+            }
+            nodes.insert(id, node);
+        }
+        let moves = {
+            let mut router = self.router.write();
+            router.ring_mut().add_node(id, ZoneId(0));
+            router.ring().plan_rebalance(id)
+        };
+        let mut moved = Vec::with_capacity(moves.len());
+        for (partition, _, to) in moves {
+            self.migrate_partition(partition, to)?;
+            moved.push(partition);
+        }
+        Ok(moved)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+
+    #[test]
+    fn add_and_delete_stores() {
+        let cluster = VoldemortCluster::new(16, 3).unwrap();
+        cluster.add_store(StoreDef::read_write("follows")).unwrap();
+        assert!(matches!(
+            cluster.add_store(StoreDef::read_write("follows")),
+            Err(VoldemortError::DuplicateStore(_))
+        ));
+        cluster.delete_store("follows").unwrap();
+        assert!(cluster.store_def("follows").is_err());
+        assert!(matches!(
+            cluster.delete_store("follows"),
+            Err(VoldemortError::UnknownStore(_))
+        ));
+    }
+
+    #[test]
+    fn invalid_store_def_rejected() {
+        let cluster = VoldemortCluster::new(16, 2).unwrap();
+        let bad = StoreDef::read_write("s").with_quorum(3, 1, 4);
+        assert!(matches!(
+            cluster.add_store(bad),
+            Err(VoldemortError::Admin(_))
+        ));
+    }
+
+    #[test]
+    fn read_only_store_requires_dedicated_path() {
+        let cluster = VoldemortCluster::new(8, 1).unwrap();
+        assert!(matches!(
+            cluster.add_store(StoreDef::read_only("ro")),
+            Err(VoldemortError::Admin(_))
+        ));
+    }
+
+    #[test]
+    fn migrate_partition_moves_data_and_ownership() {
+        let cluster = VoldemortCluster::new(8, 2).unwrap();
+        cluster
+            .add_store(StoreDef::read_write("s").with_quorum(1, 1, 1))
+            .unwrap();
+        let client = cluster.client("s").unwrap();
+        for i in 0..200 {
+            client
+                .put_initial(format!("k{i}").as_bytes(), Bytes::from(format!("v{i}")))
+                .unwrap();
+        }
+        let ring = cluster.ring();
+        // Move every partition owned by node 0 to node 1.
+        let moving = ring.partitions_of(NodeId(0));
+        for p in &moving {
+            cluster.migrate_partition(*p, NodeId(1)).unwrap();
+        }
+        // All keys still readable (now served entirely by node 1).
+        for i in 0..200 {
+            let got = client.get(format!("k{i}").as_bytes()).unwrap();
+            assert_eq!(got.len(), 1, "k{i} lost in migration");
+        }
+        assert!(cluster.ring().partitions_of(NodeId(0)).is_empty());
+    }
+}

@@ -1,0 +1,74 @@
+//! Volatile in-memory engine.
+
+use bytes::Bytes;
+use li_commons::clock::{VectorClock, Versioned};
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+
+use super::{slot_delete, slot_put, StorageEngine};
+use crate::error::VoldemortError;
+
+/// A BTreeMap-backed engine: the simplest conforming implementation, used
+/// for caches, tests, and as the mock the paper's pluggable design calls
+/// for.
+#[derive(Debug, Default)]
+pub struct MemoryEngine {
+    map: RwLock<BTreeMap<Vec<u8>, Vec<Versioned<Bytes>>>>,
+}
+
+impl MemoryEngine {
+    /// Creates an empty engine.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl StorageEngine for MemoryEngine {
+    fn get(&self, key: &[u8]) -> Result<Vec<Versioned<Bytes>>, VoldemortError> {
+        Ok(self.map.read().get(key).cloned().unwrap_or_default())
+    }
+
+    fn put(&self, key: &[u8], value: Versioned<Bytes>) -> Result<(), VoldemortError> {
+        let mut map = self.map.write();
+        let slot = map.entry(key.to_vec()).or_default();
+        let result = slot_put(slot, value);
+        if slot.is_empty() {
+            map.remove(key);
+        }
+        result
+    }
+
+    fn delete(&self, key: &[u8], clock: &VectorClock) -> Result<bool, VoldemortError> {
+        let mut map = self.map.write();
+        let Some(slot) = map.get_mut(key) else {
+            return Ok(false);
+        };
+        let removed = slot_delete(slot, clock);
+        if slot.is_empty() {
+            map.remove(key);
+        }
+        Ok(removed)
+    }
+
+    fn entries(&self) -> Vec<(Bytes, Vec<Versioned<Bytes>>)> {
+        self.map
+            .read()
+            .iter()
+            .map(|(k, v)| (Bytes::copy_from_slice(k), v.clone()))
+            .collect()
+    }
+
+    fn key_count(&self) -> usize {
+        self.map.read().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conforms_to_engine_contract() {
+        crate::engine::conformance::run_all(|| Box::new(MemoryEngine::new()));
+    }
+}

@@ -1,0 +1,86 @@
+//! Error types for the Voldemort reproduction.
+
+use li_commons::ring::NodeId;
+use li_commons::sim::NetError;
+use std::fmt;
+
+/// Errors surfaced by the Voldemort client and server stack.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VoldemortError {
+    /// The put carried a vector clock that does not descend from the
+    /// stored version — the paper's optimistic-locking signal: "Two
+    /// concurrent updates to the same key results in one of the clients
+    /// failing due to an already written vector clock. This client
+    /// receives a special error, which can trigger a retry."
+    ObsoleteVersion,
+    /// Fewer than R replicas answered a read.
+    InsufficientReads {
+        /// Replicas required.
+        required: usize,
+        /// Replicas that answered.
+        got: usize,
+    },
+    /// Fewer than W replicas acknowledged a write.
+    InsufficientWrites {
+        /// Replicas required.
+        required: usize,
+        /// Replicas that acknowledged.
+        got: usize,
+    },
+    /// No store with that name exists on the cluster.
+    UnknownStore(String),
+    /// A store with that name already exists.
+    DuplicateStore(String),
+    /// The routing layer could not produce a preference list.
+    Routing(String),
+    /// A remote operation failed at the network layer.
+    Net(NodeId, NetError),
+    /// `apply_update` exhausted its retries.
+    RetriesExhausted(u32),
+    /// Read-only store pipeline failure (build/pull/swap).
+    ReadOnly(String),
+    /// Filesystem failure in the read-only engine.
+    Io(String),
+    /// The operation is not supported by this engine (e.g. writes to the
+    /// read-only engine outside the swap pipeline).
+    UnsupportedOperation(&'static str),
+    /// Admin/rebalance failure.
+    Admin(String),
+}
+
+impl fmt::Display for VoldemortError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VoldemortError::ObsoleteVersion => write!(f, "obsolete version (optimistic lock)"),
+            VoldemortError::InsufficientReads { required, got } => {
+                write!(f, "read quorum failed: {got}/{required}")
+            }
+            VoldemortError::InsufficientWrites { required, got } => {
+                write!(f, "write quorum failed: {got}/{required}")
+            }
+            VoldemortError::UnknownStore(name) => write!(f, "unknown store `{name}`"),
+            VoldemortError::DuplicateStore(name) => write!(f, "store `{name}` exists"),
+            VoldemortError::Routing(msg) => write!(f, "routing error: {msg}"),
+            VoldemortError::Net(node, e) => write!(f, "network error to {node}: {e}"),
+            VoldemortError::RetriesExhausted(n) => write!(f, "update failed after {n} retries"),
+            VoldemortError::ReadOnly(msg) => write!(f, "read-only pipeline: {msg}"),
+            VoldemortError::Io(msg) => write!(f, "io error: {msg}"),
+            VoldemortError::UnsupportedOperation(op) => write!(f, "unsupported operation: {op}"),
+            VoldemortError::Admin(msg) => write!(f, "admin error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for VoldemortError {}
+
+impl From<std::io::Error> for VoldemortError {
+    fn from(e: std::io::Error) -> Self {
+        VoldemortError::Io(e.to_string())
+    }
+}
+
+impl From<li_commons::ring::RingError> for VoldemortError {
+    fn from(e: li_commons::ring::RingError) -> Self {
+        VoldemortError::Routing(e.to_string())
+    }
+}

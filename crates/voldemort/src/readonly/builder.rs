@@ -1,0 +1,256 @@
+//! Build phase: the Hadoop-job analog.
+//!
+//! "We take the output of complex algorithms and generate partitioned sets
+//! of data and index files in Hadoop. These files are partitioned by
+//! destination nodes and stored in HDFS. ... To generate these indices, we
+//! leverage Hadoop's ability to sort its values in the reducers"
+//! (Figure II.3a). Here the "cluster" is a pool of reducer threads and
+//! "HDFS" is a build output directory; the artifact layout —
+//! `node-<id>/<partition>.index` + `.data`, MD5-sorted — is the part the
+//! serving path depends on, and is identical in spirit.
+
+use bytes::Bytes;
+use li_commons::md5::{md5, Digest};
+use li_commons::ring::{HashRing, NodeId, PartitionId};
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use super::format;
+use crate::error::VoldemortError;
+
+/// One reducer work item: a partition and its digest-sorted entries.
+type PartitionWork = (PartitionId, Vec<(Digest, Bytes)>);
+
+/// Result manifest of a build: where the files are and what they contain.
+#[derive(Debug, Clone)]
+pub struct BuildOutput {
+    /// Root of the build output ("HDFS" directory).
+    pub dir: PathBuf,
+    /// Version number encoded in this build.
+    pub version: u64,
+    /// Per node: the partitions written for it.
+    pub node_partitions: BTreeMap<NodeId, Vec<PartitionId>>,
+    /// Total records written (after last-wins dedup), summed over replicas.
+    pub replica_records: usize,
+}
+
+impl BuildOutput {
+    /// Directory holding one node's files.
+    pub fn node_dir(&self, node: NodeId) -> PathBuf {
+        self.dir.join(format!("node-{}", node.0))
+    }
+}
+
+/// The offline builder.
+#[derive(Debug, Clone)]
+pub struct ReadOnlyBuilder {
+    ring: HashRing,
+    replication: usize,
+    reducers: usize,
+}
+
+impl ReadOnlyBuilder {
+    /// Creates a builder targeting `ring` with `replication` copies of each
+    /// record, using `reducers` parallel sort workers.
+    pub fn new(ring: HashRing, replication: usize, reducers: usize) -> Self {
+        ReadOnlyBuilder {
+            ring,
+            replication,
+            reducers: reducers.max(1),
+        }
+    }
+
+    /// Runs the build: partitions `records`, sorts each partition by MD5
+    /// in reducer threads, and writes per-node index/data files under
+    /// `out_dir/version-<version>/node-<id>/`.
+    ///
+    /// Later duplicates of a key win, matching "most of the scores change
+    /// between runs" semantics where the job output is the truth.
+    pub fn build(
+        &self,
+        records: impl IntoIterator<Item = (Bytes, Bytes)>,
+        version: u64,
+        out_dir: &Path,
+    ) -> Result<BuildOutput, VoldemortError> {
+        // Map phase: route each record to the replica partitions (and thus
+        // destination nodes) that must store it.
+        // (partition -> key digest -> (sequence, value)) with last-wins.
+        let mut partitions: BTreeMap<PartitionId, BTreeMap<Digest, (usize, Bytes)>> =
+            BTreeMap::new();
+        for (seq, (key, value)) in records.into_iter().enumerate() {
+            let digest = md5(&key);
+            let master = self.ring.master_partition(&key);
+            let replicas = self
+                .ring
+                .replica_partitions(master, self.replication)
+                .map_err(|e| VoldemortError::ReadOnly(e.to_string()))?;
+            for partition in replicas {
+                let slot = partitions.entry(partition).or_default();
+                match slot.get(&digest) {
+                    Some(&(existing_seq, _)) if existing_seq > seq => {}
+                    _ => {
+                        slot.insert(digest, (seq, value.clone()));
+                    }
+                }
+            }
+        }
+
+        // Reduce phase: sort (BTreeMap is already digest-sorted) and write
+        // files, parallelized across reducer threads by partition.
+        let version_dir = out_dir.join(format!("version-{version}"));
+        fs::create_dir_all(&version_dir)?;
+
+        let work: Vec<PartitionWork> = partitions
+            .into_iter()
+            .map(|(p, slot)| {
+                (
+                    p,
+                    slot.into_iter().map(|(d, (_, v))| (d, v)).collect::<Vec<_>>(),
+                )
+            })
+            .collect();
+        let replica_records: usize = work.iter().map(|(_, entries)| entries.len()).sum();
+
+        let chunks: Vec<Vec<PartitionWork>> = {
+            let mut chunks: Vec<Vec<_>> = (0..self.reducers).map(|_| Vec::new()).collect();
+            for (i, item) in work.into_iter().enumerate() {
+                chunks[i % self.reducers].push(item);
+            }
+            chunks
+        };
+
+        let ring = &self.ring;
+        let dir = &version_dir;
+        std::thread::scope(|scope| -> Result<(), VoldemortError> {
+            let mut handles = Vec::new();
+            for chunk in &chunks {
+                handles.push(scope.spawn(move || -> Result<(), VoldemortError> {
+                    for (partition, entries) in chunk {
+                        let (index, data) = format::write_partition(entries);
+                        let owner = ring.owner_of(*partition);
+                        let node_dir = dir.join(format!("node-{}", owner.0));
+                        fs::create_dir_all(&node_dir)?;
+                        fs::write(node_dir.join(format!("{}.data", partition.0)), &data)?;
+                        fs::write(node_dir.join(format!("{}.index", partition.0)), &index)?;
+                    }
+                    Ok(())
+                }));
+            }
+            for handle in handles {
+                handle.join().expect("reducer thread panicked")?;
+            }
+            Ok(())
+        })?;
+
+        // Manifest.
+        let mut node_partitions: BTreeMap<NodeId, Vec<PartitionId>> = BTreeMap::new();
+        for chunk in &chunks {
+            for (partition, _) in chunk {
+                node_partitions
+                    .entry(ring.owner_of(*partition))
+                    .or_default()
+                    .push(*partition);
+            }
+        }
+        for parts in node_partitions.values_mut() {
+            parts.sort();
+        }
+        Ok(BuildOutput {
+            dir: version_dir,
+            version,
+            node_partitions,
+            replica_records,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::readonly::ScratchDir;
+
+    fn records(n: usize) -> Vec<(Bytes, Bytes)> {
+        (0..n)
+            .map(|i| {
+                (
+                    Bytes::from(format!("member:{i}")),
+                    Bytes::from(format!("recs:{i}")),
+                )
+            })
+            .collect()
+    }
+
+    fn nodes(n: u16) -> Vec<NodeId> {
+        (0..n).map(NodeId).collect()
+    }
+
+    #[test]
+    fn build_writes_per_node_files() {
+        let scratch = ScratchDir::new("build").unwrap();
+        let ring = HashRing::balanced(8, &nodes(2)).unwrap();
+        let builder = ReadOnlyBuilder::new(ring, 2, 3);
+        let out = builder.build(records(200), 1, scratch.path()).unwrap();
+
+        assert_eq!(out.version, 1);
+        // Replication 2 over 2 nodes: both nodes store everything.
+        assert_eq!(out.replica_records, 400);
+        for node in nodes(2) {
+            let dir = out.node_dir(node);
+            assert!(dir.is_dir(), "{dir:?}");
+            let files = std::fs::read_dir(&dir).unwrap().count();
+            // Up to 8 partitions x 2 files each on this node.
+            assert!(files > 0 && files.is_multiple_of(2), "{files} files");
+        }
+    }
+
+    #[test]
+    fn duplicate_keys_last_wins() {
+        let scratch = ScratchDir::new("dedup").unwrap();
+        let ring = HashRing::balanced(4, &nodes(1)).unwrap();
+        let builder = ReadOnlyBuilder::new(ring.clone(), 1, 1);
+        let input = vec![
+            (Bytes::from_static(b"k"), Bytes::from_static(b"old")),
+            (Bytes::from_static(b"k"), Bytes::from_static(b"new")),
+        ];
+        let out = builder.build(input, 1, scratch.path()).unwrap();
+        assert_eq!(out.replica_records, 1);
+        // Read back directly through the format layer.
+        let partition = ring.master_partition(b"k");
+        let node_dir = out.node_dir(NodeId(0));
+        let index = std::fs::read(node_dir.join(format!("{}.index", partition.0))).unwrap();
+        let data = std::fs::read(node_dir.join(format!("{}.data", partition.0))).unwrap();
+        let hit = format::search(&index, &data, &md5(b"k")).unwrap();
+        assert_eq!(hit.as_ref(), b"new");
+    }
+
+    #[test]
+    fn index_files_are_sorted_by_digest() {
+        let scratch = ScratchDir::new("sorted").unwrap();
+        let ring = HashRing::balanced(2, &nodes(1)).unwrap();
+        let builder = ReadOnlyBuilder::new(ring, 1, 2);
+        let out = builder.build(records(100), 1, scratch.path()).unwrap();
+        let node_dir = out.node_dir(NodeId(0));
+        for entry in std::fs::read_dir(&node_dir).unwrap() {
+            let path = entry.unwrap().path();
+            if path.extension().is_some_and(|e| e == "index") {
+                let bytes = std::fs::read(&path).unwrap();
+                let entries: Vec<&[u8]> = bytes.chunks(format::INDEX_ENTRY_LEN).collect();
+                for w in entries.windows(2) {
+                    assert!(w[0][..16] < w[1][..16], "unsorted index {path:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn versioned_directories_coexist() {
+        let scratch = ScratchDir::new("versions").unwrap();
+        let ring = HashRing::balanced(4, &nodes(1)).unwrap();
+        let builder = ReadOnlyBuilder::new(ring, 1, 1);
+        builder.build(records(10), 1, scratch.path()).unwrap();
+        builder.build(records(10), 2, scratch.path()).unwrap();
+        assert!(scratch.path().join("version-1").is_dir());
+        assert!(scratch.path().join("version-2").is_dir());
+    }
+}

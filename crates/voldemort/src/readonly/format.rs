@@ -1,0 +1,132 @@
+//! On-disk format of read-only partition files.
+//!
+//! * **Data file**: concatenated records, each `[varint value_len][value]`.
+//! * **Index file**: sorted fixed-width entries, each
+//!   `[16-byte MD5(key)][8-byte LE data offset]` — "a compact list of
+//!   sorted MD5 of key and offset to data into the data file".
+//!
+//! Fixed-width index entries are what make binary search trivial: entry
+//! `i` lives at byte `24 * i`.
+
+use bytes::Bytes;
+use li_commons::md5::Digest;
+use li_commons::varint;
+
+/// Bytes per index entry: 16-byte digest + 8-byte offset.
+pub const INDEX_ENTRY_LEN: usize = 24;
+
+/// Serializes `(digest, value)` pairs into `(index, data)` file contents.
+/// Input **must already be sorted by digest**; duplicates must have been
+/// resolved by the builder.
+pub fn write_partition(entries: &[(Digest, Bytes)]) -> (Vec<u8>, Vec<u8>) {
+    debug_assert!(
+        entries.windows(2).all(|w| w[0].0 < w[1].0),
+        "entries must be sorted by digest and unique"
+    );
+    let data_len: usize = entries.iter().map(|(_, v)| v.len() + 4).sum();
+    let mut data = Vec::with_capacity(data_len);
+    let mut index = Vec::with_capacity(entries.len() * INDEX_ENTRY_LEN);
+    for (digest, value) in entries {
+        let offset = data.len() as u64;
+        varint::write_u64(&mut data, value.len() as u64);
+        data.extend_from_slice(value);
+        index.extend_from_slice(digest);
+        index.extend_from_slice(&offset.to_le_bytes());
+    }
+    (index, data)
+}
+
+/// Number of entries in an index file.
+pub fn entry_count(index: &[u8]) -> usize {
+    index.len() / INDEX_ENTRY_LEN
+}
+
+/// Binary-searches `index` for `digest`; on a hit, reads the value out of
+/// `data`.
+pub fn search(index: &[u8], data: &[u8], digest: &Digest) -> Option<Bytes> {
+    let n = entry_count(index);
+    let mut lo = 0usize;
+    let mut hi = n;
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        let entry = &index[mid * INDEX_ENTRY_LEN..(mid + 1) * INDEX_ENTRY_LEN];
+        match entry[..16].cmp(&digest[..]) {
+            std::cmp::Ordering::Less => lo = mid + 1,
+            std::cmp::Ordering::Greater => hi = mid,
+            std::cmp::Ordering::Equal => {
+                let offset =
+                    u64::from_le_bytes(entry[16..24].try_into().expect("8 bytes")) as usize;
+                let mut cursor = &data[offset..];
+                let len = varint::read_u64(&mut cursor).ok()? as usize;
+                if cursor.len() < len {
+                    return None;
+                }
+                return Some(Bytes::copy_from_slice(&cursor[..len]));
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use li_commons::md5::md5;
+
+    fn build(pairs: &[(&str, &str)]) -> (Vec<u8>, Vec<u8>) {
+        let mut entries: Vec<(Digest, Bytes)> = pairs
+            .iter()
+            .map(|(k, v)| (md5(k.as_bytes()), Bytes::copy_from_slice(v.as_bytes())))
+            .collect();
+        entries.sort_by_key(|e| e.0);
+        write_partition(&entries)
+    }
+
+    #[test]
+    fn search_finds_every_key() {
+        let pairs: Vec<(String, String)> = (0..500)
+            .map(|i| (format!("member:{i}"), format!("profile-{i}")))
+            .collect();
+        let refs: Vec<(&str, &str)> = pairs
+            .iter()
+            .map(|(k, v)| (k.as_str(), v.as_str()))
+            .collect();
+        let (index, data) = build(&refs);
+        assert_eq!(entry_count(&index), 500);
+        for (k, v) in &pairs {
+            let hit = search(&index, &data, &md5(k.as_bytes())).unwrap();
+            assert_eq!(hit.as_ref(), v.as_bytes());
+        }
+    }
+
+    #[test]
+    fn search_misses_absent_keys() {
+        let (index, data) = build(&[("a", "1"), ("b", "2")]);
+        assert!(search(&index, &data, &md5(b"zzz")).is_none());
+    }
+
+    #[test]
+    fn empty_partition() {
+        let (index, data) = write_partition(&[]);
+        assert!(index.is_empty());
+        assert!(data.is_empty());
+        assert!(search(&index, &data, &md5(b"any")).is_none());
+    }
+
+    #[test]
+    fn empty_values_supported() {
+        let (index, data) = build(&[("k", "")]);
+        assert_eq!(search(&index, &data, &md5(b"k")).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn large_values_round_trip() {
+        let big = "x".repeat(100_000);
+        let (index, data) = build(&[("big", &big), ("small", "y")]);
+        assert_eq!(
+            search(&index, &data, &md5(b"big")).unwrap().len(),
+            100_000
+        );
+        assert_eq!(search(&index, &data, &md5(b"small")).unwrap().as_ref(), b"y");
+    }
+}

@@ -1,0 +1,213 @@
+//! The storage node: per-store engines, hint storage, and the server-side
+//! operations the coordinator dispatches.
+
+use bytes::Bytes;
+use li_commons::clock::{VectorClock, Versioned};
+use li_commons::ring::NodeId;
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::engine::StorageEngine;
+use crate::error::VoldemortError;
+
+/// A write stored on a fallback node on behalf of an unreachable replica —
+/// the unit of hinted handoff. "Read repair detects inconsistencies during
+/// gets while hinted handoff is triggered during puts" (§II.B).
+#[derive(Debug, Clone)]
+pub struct Hint {
+    /// Store the write belongs to.
+    pub store: String,
+    /// The replica that should have received it.
+    pub target: NodeId,
+    /// Key written.
+    pub key: Bytes,
+    /// The versioned value.
+    pub value: Versioned<Bytes>,
+}
+
+/// One Voldemort storage node.
+pub struct VoldemortNode {
+    id: NodeId,
+    engines: RwLock<HashMap<String, Arc<dyn StorageEngine>>>,
+    hints: Mutex<Vec<Hint>>,
+}
+
+impl std::fmt::Debug for VoldemortNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("VoldemortNode")
+            .field("id", &self.id)
+            .field("stores", &self.engines.read().keys().collect::<Vec<_>>())
+            .field("pending_hints", &self.hints.lock().len())
+            .finish()
+    }
+}
+
+impl VoldemortNode {
+    /// Creates a node with no stores.
+    pub fn new(id: NodeId) -> Self {
+        VoldemortNode {
+            id,
+            engines: RwLock::new(HashMap::new()),
+            hints: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// This node's id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Attaches an engine for `store` (admin: add store without downtime).
+    pub fn add_store(
+        &self,
+        store: impl Into<String>,
+        engine: Arc<dyn StorageEngine>,
+    ) -> Result<(), VoldemortError> {
+        let store = store.into();
+        let mut engines = self.engines.write();
+        if engines.contains_key(&store) {
+            return Err(VoldemortError::DuplicateStore(store));
+        }
+        engines.insert(store, engine);
+        Ok(())
+    }
+
+    /// Detaches a store (admin: delete store without downtime).
+    pub fn remove_store(&self, store: &str) -> Result<(), VoldemortError> {
+        self.engines
+            .write()
+            .remove(store)
+            .map(|_| ())
+            .ok_or_else(|| VoldemortError::UnknownStore(store.into()))
+    }
+
+    /// The engine backing `store`.
+    pub fn engine(&self, store: &str) -> Result<Arc<dyn StorageEngine>, VoldemortError> {
+        self.engines
+            .read()
+            .get(store)
+            .cloned()
+            .ok_or_else(|| VoldemortError::UnknownStore(store.into()))
+    }
+
+    /// Server-side get.
+    pub fn get(&self, store: &str, key: &[u8]) -> Result<Vec<Versioned<Bytes>>, VoldemortError> {
+        self.engine(store)?.get(key)
+    }
+
+    /// Server-side put (vector-clock checked).
+    pub fn put(
+        &self,
+        store: &str,
+        key: &[u8],
+        value: Versioned<Bytes>,
+    ) -> Result<(), VoldemortError> {
+        self.engine(store)?.put(key, value)
+    }
+
+    /// Server-side force put (read repair / handoff replay / rebalance).
+    pub fn force_put(
+        &self,
+        store: &str,
+        key: &[u8],
+        value: Versioned<Bytes>,
+    ) -> Result<(), VoldemortError> {
+        self.engine(store)?.force_put(key, value)
+    }
+
+    /// Server-side delete.
+    pub fn delete(
+        &self,
+        store: &str,
+        key: &[u8],
+        clock: &VectorClock,
+    ) -> Result<bool, VoldemortError> {
+        self.engine(store)?.delete(key, clock)
+    }
+
+    /// Stores a hint destined for another replica.
+    pub fn store_hint(&self, hint: Hint) {
+        self.hints.lock().push(hint);
+    }
+
+    /// Drains the hints whose target is `target` (handoff replay).
+    pub fn take_hints_for(&self, target: NodeId) -> Vec<Hint> {
+        let mut hints = self.hints.lock();
+        let (matched, rest): (Vec<Hint>, Vec<Hint>) =
+            hints.drain(..).partition(|h| h.target == target);
+        *hints = rest;
+        matched
+    }
+
+    /// Number of hints currently parked on this node.
+    pub fn hint_count(&self) -> usize {
+        self.hints.lock().len()
+    }
+
+    /// Liveness probe (the async recovery thread's contact attempt).
+    pub fn ping(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::MemoryEngine;
+
+    fn node_with_store() -> VoldemortNode {
+        let node = VoldemortNode::new(NodeId(1));
+        node.add_store("s", Arc::new(MemoryEngine::new())).unwrap();
+        node
+    }
+
+    #[test]
+    fn store_lifecycle() {
+        let node = node_with_store();
+        assert!(matches!(
+            node.add_store("s", Arc::new(MemoryEngine::new())),
+            Err(VoldemortError::DuplicateStore(_))
+        ));
+        node.remove_store("s").unwrap();
+        assert!(matches!(
+            node.get("s", b"k"),
+            Err(VoldemortError::UnknownStore(_))
+        ));
+        assert!(matches!(
+            node.remove_store("s"),
+            Err(VoldemortError::UnknownStore(_))
+        ));
+    }
+
+    #[test]
+    fn ops_pass_through_to_engine() {
+        let node = node_with_store();
+        let clock = VectorClock::with(1, 1);
+        node.put("s", b"k", Versioned::new(clock.clone(), Bytes::from_static(b"v")))
+            .unwrap();
+        assert_eq!(node.get("s", b"k").unwrap().len(), 1);
+        assert!(node.delete("s", b"k", &clock).unwrap());
+        assert!(node.get("s", b"k").unwrap().is_empty());
+    }
+
+    #[test]
+    fn hints_partition_by_target() {
+        let node = node_with_store();
+        for target in [2u16, 3, 2] {
+            node.store_hint(Hint {
+                store: "s".into(),
+                target: NodeId(target),
+                key: Bytes::from_static(b"k"),
+                value: Versioned::initial(Bytes::from_static(b"v")),
+            });
+        }
+        assert_eq!(node.hint_count(), 3);
+        let for_2 = node.take_hints_for(NodeId(2));
+        assert_eq!(for_2.len(), 2);
+        assert_eq!(node.hint_count(), 1);
+        assert!(node.take_hints_for(NodeId(2)).is_empty());
+        assert_eq!(node.take_hints_for(NodeId(3)).len(), 1);
+        assert_eq!(node.hint_count(), 0);
+    }
+}

@@ -1,0 +1,138 @@
+//! Mixed read/write operation streams and latency recording.
+
+use li_commons::hist::Histogram;
+use rand::Rng;
+
+use crate::keys::KeyDistribution;
+
+/// One operation in a workload stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Operation {
+    /// Read the key.
+    Read(Vec<u8>),
+    /// Write the key with a value of the attached size.
+    Write(Vec<u8>, usize),
+}
+
+/// A mixed workload: read fraction, key distribution, value size. The
+/// paper's read-write cluster profile is `MixedWorkload::sixty_forty(...)`.
+#[derive(Debug, Clone)]
+pub struct MixedWorkload {
+    read_fraction: f64,
+    keys: KeyDistribution,
+    value_size: usize,
+    key_formatter: fn(u64) -> Vec<u8>,
+}
+
+impl MixedWorkload {
+    /// Creates a workload.
+    pub fn new(read_fraction: f64, keys: KeyDistribution, value_size: usize) -> Self {
+        MixedWorkload {
+            read_fraction: read_fraction.clamp(0.0, 1.0),
+            keys,
+            value_size,
+            key_formatter: crate::keys::member_key,
+        }
+    }
+
+    /// The paper's read-write cluster mix: "about 60% reads and 40% writes".
+    pub fn sixty_forty(keys: KeyDistribution, value_size: usize) -> Self {
+        Self::new(0.6, keys, value_size)
+    }
+
+    /// Overrides the key formatting function.
+    #[must_use]
+    pub fn with_key_formatter(mut self, f: fn(u64) -> Vec<u8>) -> Self {
+        self.key_formatter = f;
+        self
+    }
+
+    /// Draws the next operation.
+    pub fn next_op(&self, rng: &mut impl Rng) -> Operation {
+        let key = (self.key_formatter)(self.keys.sample(rng));
+        if rng.random::<f64>() < self.read_fraction {
+            Operation::Read(key)
+        } else {
+            Operation::Write(key, self.value_size)
+        }
+    }
+
+    /// Generates a whole stream.
+    pub fn ops(&self, rng: &mut impl Rng, count: usize) -> Vec<Operation> {
+        (0..count).map(|_| self.next_op(rng)).collect()
+    }
+
+    /// Number of distinct keys in the space.
+    pub fn key_count(&self) -> u64 {
+        self.keys.key_count()
+    }
+}
+
+/// Separate read/write latency recorders, reported the way the paper
+/// quotes its numbers (average + percentile latencies per op class).
+#[derive(Debug, Default, Clone)]
+pub struct LatencyReport {
+    /// Read latencies (ns).
+    pub reads: Histogram,
+    /// Write latencies (ns).
+    pub writes: Histogram,
+}
+
+impl LatencyReport {
+    /// Creates empty recorders.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one operation's latency.
+    pub fn record(&mut self, op: &Operation, nanos: u64) {
+        match op {
+            Operation::Read(_) => self.reads.record(nanos),
+            Operation::Write(_, _) => self.writes.record(nanos),
+        }
+    }
+
+    /// Two-line summary in the paper's terms.
+    pub fn summary(&self) -> String {
+        format!(
+            "reads:  {}\nwrites: {}",
+            self.reads.summary_ms(),
+            self.writes.summary_ms()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn mix_ratio_holds() {
+        let workload = MixedWorkload::sixty_forty(KeyDistribution::uniform(1000), 100);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let ops = workload.ops(&mut rng, 10_000);
+        let reads = ops.iter().filter(|o| matches!(o, Operation::Read(_))).count();
+        let ratio = reads as f64 / ops.len() as f64;
+        assert!((0.57..=0.63).contains(&ratio), "read ratio {ratio}");
+    }
+
+    #[test]
+    fn pure_read_and_pure_write() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let reads = MixedWorkload::new(1.0, KeyDistribution::uniform(10), 1).ops(&mut rng, 100);
+        assert!(reads.iter().all(|o| matches!(o, Operation::Read(_))));
+        let writes = MixedWorkload::new(0.0, KeyDistribution::uniform(10), 1).ops(&mut rng, 100);
+        assert!(writes.iter().all(|o| matches!(o, Operation::Write(_, _))));
+    }
+
+    #[test]
+    fn latency_report_separates_classes() {
+        let mut report = LatencyReport::new();
+        report.record(&Operation::Read(vec![]), 1_000_000);
+        report.record(&Operation::Write(vec![], 10), 3_000_000);
+        assert_eq!(report.reads.count(), 1);
+        assert_eq!(report.writes.count(), 1);
+        assert!(report.summary().contains("reads:"));
+    }
+}

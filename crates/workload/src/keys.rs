@@ -1,0 +1,84 @@
+//! Key-stream generators.
+
+use rand::Rng;
+
+use crate::zipf::Zipfian;
+
+/// How keys are drawn from the key space.
+#[derive(Debug, Clone)]
+pub enum KeyDistribution {
+    /// Uniform over `0..n`.
+    Uniform(u64),
+    /// Zipfian over `0..n` (hot keys exist).
+    Zipfian(Zipfian),
+}
+
+impl KeyDistribution {
+    /// Uniform key space of `n` keys.
+    pub fn uniform(n: u64) -> Self {
+        KeyDistribution::Uniform(n)
+    }
+
+    /// YCSB-skewed key space of `n` keys.
+    pub fn zipfian(n: u64) -> Self {
+        KeyDistribution::Zipfian(Zipfian::ycsb(n))
+    }
+
+    /// Draws a key id.
+    pub fn sample(&self, rng: &mut impl Rng) -> u64 {
+        match self {
+            KeyDistribution::Uniform(n) => rng.random_range(0..*n),
+            KeyDistribution::Zipfian(zipf) => zipf.sample(rng),
+        }
+    }
+
+    /// Size of the key space.
+    pub fn key_count(&self) -> u64 {
+        match self {
+            KeyDistribution::Uniform(n) => *n,
+            KeyDistribution::Zipfian(zipf) => zipf.item_count(),
+        }
+    }
+}
+
+/// Formats key ids as the member-keyed byte keys used across examples and
+/// benches (`member:000000042` — fixed width so keys sort naturally).
+pub fn member_key(id: u64) -> Vec<u8> {
+    format!("member:{id:09}").into_bytes()
+}
+
+/// Company-keyed variant.
+pub fn company_key(id: u64) -> Vec<u8> {
+    format!("company:{id:07}").into_bytes()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_covers_space() {
+        let dist = KeyDistribution::uniform(100);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..5_000 {
+            seen.insert(dist.sample(&mut rng));
+        }
+        assert!(seen.len() > 95, "covered {}", seen.len());
+    }
+
+    #[test]
+    fn zipfian_is_skewed() {
+        let dist = KeyDistribution::zipfian(1000);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let hot = (0..10_000).filter(|_| dist.sample(&mut rng) < 10).count();
+        assert!(hot > 2000, "hot count {hot}");
+    }
+
+    #[test]
+    fn formatted_keys_sort_numerically() {
+        assert!(member_key(9) < member_key(10));
+        assert!(company_key(99) < company_key(100));
+    }
+}

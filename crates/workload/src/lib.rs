@@ -1,0 +1,32 @@
+//! # li-workload — workload synthesis for the benchmark harness
+//!
+//! The paper characterizes its production workloads by distribution rather
+//! than by trace: the read-write Voldemort cluster sees "about 60% reads
+//! and 40% writes"; the Company Follow stores "have a Zipfian distribution
+//! for their data size"; Kafka ingests self-similar activity-log text
+//! ("user activity events corresponding to logins, page-views, clicks...").
+//! This crate generates synthetic workloads with exactly those shapes (the
+//! substitution for LinkedIn's production traces, per DESIGN.md):
+//!
+//! * [`zipf`] — a Zipfian sampler (Gray et al. rejection-free method, the
+//!   same construction YCSB uses).
+//! * [`keys`] — uniform/Zipfian key streams over formatted key spaces.
+//! * [`events`] — activity-event text with realistic redundancy for the
+//!   compression experiments.
+//! * [`datasets`] — the two application datasets §II.C describes:
+//!   Company Follow (two association stores with Zipfian list sizes) and
+//!   People You May Know (per-member scored recommendation lists).
+//! * [`driver`] — mixed read/write operation streams (e.g. 60/40) with a
+//!   latency recorder.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod datasets;
+pub mod driver;
+pub mod events;
+pub mod keys;
+pub mod zipf;
+
+pub use driver::{MixedWorkload, Operation};
+pub use zipf::Zipfian;

@@ -1,0 +1,52 @@
+//! # li-zk — ZooKeeper analog
+//!
+//! The paper leans on ZooKeeper \[Zoo\] in two places: Kafka "employ\[s\] a
+//! highly available consensus service Zookeeper" for broker/consumer
+//! membership, rebalance triggering, and offset tracking (§V.C), and Helix
+//! "uses Zookeeper as a distributed store to maintain the state of the
+//! cluster and a notification system" (§IV.B). This crate reproduces the
+//! client-visible ZooKeeper contract those systems program against:
+//!
+//! * a hierarchical namespace of **znodes** carrying small byte payloads;
+//! * **persistent**, **ephemeral**, and **sequential** creation modes —
+//!   ephemerals vanish when their owning session expires, sequentials get a
+//!   monotonic zero-padded suffix;
+//! * **versioned writes**: every znode has a data version; `set`/`delete`
+//!   accept an expected version for compare-and-swap;
+//! * **one-shot watches** on data, existence, and children, delivered over
+//!   channels exactly once and re-armed by the caller (ZooKeeper's model);
+//! * **sessions** whose expiry atomically removes their ephemerals and
+//!   fires the corresponding watches — this is how a crashed Kafka consumer
+//!   triggers a group rebalance.
+//!
+//! The server is a single in-process replicated-state-machine stand-in: the
+//! paper's systems treat ZooKeeper as an always-available black box, so the
+//! consensus internals are out of reproduction scope (see DESIGN.md).
+//!
+//! ```
+//! use li_zk::{CreateMode, ZooKeeper};
+//!
+//! let zk = ZooKeeper::new();
+//! let session = zk.connect();
+//! session.create("/consumers", b"".as_slice(), CreateMode::Persistent)?;
+//! // Ephemeral membership + watch: the consumer-group recipe.
+//! let watch = session.watch_children("/consumers")?;
+//! let member = zk.connect();
+//! member.create("/consumers/c1", b"".as_slice(), CreateMode::Ephemeral)?;
+//! assert!(watch.try_recv().is_ok(), "membership change observed");
+//! // Crash: the session expires, the ephemeral vanishes.
+//! let watch = session.watch_children("/consumers")?;
+//! zk.expire(member.id());
+//! assert!(watch.try_recv().is_ok());
+//! assert!(!session.exists("/consumers/c1")?);
+//! # Ok::<(), li_zk::ZkError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod tree;
+
+pub use tree::{
+    CreateMode, Session, SessionId, Stat, WatchEvent, WatchEventKind, ZkError, ZooKeeper,
+};

@@ -1,0 +1,122 @@
+//! The Espresso Music database of §IV — Figures IV.2 and IV.3 live.
+//!
+//! Builds the Artist/Album/Song database, exercises the hierarchical URI
+//! data model, secondary-index queries, transactional multi-table posts,
+//! schema evolution, and a full master failover driven by Helix.
+//!
+//! Run with: `cargo run --example espresso_music`
+
+use li_commons::schema::{Field, FieldType, Record, RecordSchema, Value};
+use li_espresso::{DatabaseSchema, EspressoCluster, TableSchema};
+use li_sqlstore::RowKey;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- Schemas (JSON-definable; built via the API here) --------------
+    let album_schema = RecordSchema::new(
+        "Album",
+        1,
+        vec![
+            Field::new("year", FieldType::Long).indexed(),
+            Field::new("label", FieldType::Optional(Box::new(FieldType::Str))),
+        ],
+    )?;
+    let song_schema = RecordSchema::new(
+        "Song",
+        1,
+        vec![Field::new("lyrics", FieldType::Str).indexed()],
+    )?;
+    let music = DatabaseSchema::new("Music", 12, 2)
+        .with_table(TableSchema::new("Album", ["artist", "album"]), album_schema)?
+        .with_table(
+            TableSchema::new("Song", ["artist", "album", "song"]),
+            song_schema,
+        )?;
+
+    let cluster = EspressoCluster::new(3)?;
+    cluster.create_database(music)?;
+    println!("Espresso cluster: 3 storage nodes, Music DB with 12 partitions x 2 replicas");
+
+    // --- Figure IV.2: the Album table, application view ----------------
+    let album = |year: i64| {
+        Record::new()
+            .with("year", Value::Long(year))
+            .with("label", Value::Null)
+    };
+    for (artist, title, year) in [
+        ("Akon", "Trouble", 2004),
+        ("Akon", "Stadium", 2011),
+        ("Babyface", "Lovers", 1986),
+        ("Babyface", "A_Closer_Look", 1991),
+        ("Babyface", "Face2Face", 2001),
+        ("Coolio", "Steal_Hear", 2008),
+    ] {
+        cluster.put("Music", "Album", RowKey::new([artist, title]), &album(year))?;
+    }
+
+    // GET a collection resource.
+    let babyface = cluster.get_uri("/Music/Album/Babyface")?;
+    println!("\nGET /Music/Album/Babyface -> {} albums", babyface.len());
+    for (key, record) in &babyface {
+        println!("  {key}  year={:?}", record.get("year"));
+    }
+
+    // --- The paper's free-text query ------------------------------------
+    cluster.put(
+        "Music",
+        "Song",
+        RowKey::new(["The_Beatles", "Sgt._Pepper", "Lucy_in_the_Sky_with_Diamonds"]),
+        &Record::new().with(
+            "lyrics",
+            Value::Str("Picture yourself in a boat on a river... Lucy in the sky with diamonds".into()),
+        ),
+    )?;
+    cluster.put(
+        "Music",
+        "Song",
+        RowKey::new(["The_Beatles", "Magical_Mystery_Tour", "I_am_the_Walrus"]),
+        &Record::new().with("lyrics", Value::Str("I am he as you are he".into())),
+    )?;
+    let hits = cluster.get_uri("/Music/Song/The_Beatles?query=lyrics:\"Lucy in the sky\"")?;
+    println!("\nGET /Music/Song/The_Beatles?query=lyrics:\"Lucy in the sky\"");
+    for (key, _) in &hits {
+        println!("  -> {key}");
+    }
+    assert_eq!(hits.len(), 1);
+
+    // --- Transactional multi-table POST ---------------------------------
+    cluster.post_transactional(
+        "Music",
+        vec![
+            ("Album".into(), RowKey::new(["Etta_James", "Gold"]), album(2007)),
+            (
+                "Song".into(),
+                RowKey::new(["Etta_James", "Gold", "At_Last"]),
+                Record::new().with("lyrics", Value::Str("At last my love has come along".into())),
+            ),
+        ],
+    )?;
+    println!("\nPOST /Music/*/Etta_James (album + song, atomically) OK");
+
+    // --- Replication + failover -----------------------------------------
+    cluster.pump_replication()?;
+    let (partition, master) = cluster.route("Music", "Babyface")?;
+    println!("\nBabyface's partition {partition} mastered by {master}; crashing it...");
+    cluster.crash_node(master)?;
+    let (_, new_master) = cluster.route("Music", "Babyface")?;
+    println!("Helix promoted {new_master} (slave drained the relay first)");
+    let after = cluster.get_uri("/Music/Album/Babyface")?;
+    assert_eq!(after.len(), 3, "no data lost in failover");
+    cluster.put(
+        "Music",
+        "Album",
+        RowKey::new(["Babyface", "The_Day"]),
+        &album(1996),
+    )?;
+    println!(
+        "writes flow on the new master: Babyface now has {} albums",
+        cluster.get_uri("/Music/Album/Babyface")?.len()
+    );
+
+    println!("\nespresso_music OK");
+    Ok(())
+}

@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Runs every example end to end (the figure walk-throughs of EXPERIMENTS.md).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+for example in quickstart site_architecture espresso_music read_replica; do
+    echo "================ $example ================"
+    cargo run -q --example "$example"
+done
+for example in company_follow pymk_readonly kafka_activity; do
+    echo "================ $example (release) ================"
+    cargo run -q --release --example "$example"
+done
+echo "all examples OK"

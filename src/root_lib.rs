@@ -1,0 +1,2 @@
+//! Empty library target: this package exists to host the workspace-level
+//! `examples/` and `tests/` directories (see those for content).

@@ -1,0 +1,193 @@
+//! Property tests on schema evolution (the Avro-analog rules Espresso
+//! depends on): along any chain of *compatible* evolutions, a document
+//! written under any historical version resolves under the latest version
+//! without error, with every reader field populated.
+
+use li_commons::schema::{
+    encode, resolve, Field, FieldType, Record, RecordSchema, SchemaRegistry, Value,
+};
+use proptest::prelude::*;
+
+/// An evolution step applied to the previous schema.
+#[derive(Debug, Clone)]
+enum Step {
+    AddLongWithDefault(String, i64),
+    AddOptionalStr(String),
+    DropField(proptest::sample::Index),
+    WidenLongToDouble(proptest::sample::Index),
+}
+
+fn arb_step(i: usize) -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (0i64..100).prop_map(move |d| Step::AddLongWithDefault(format!("added_{i}"), d)),
+        Just(Step::AddOptionalStr(format!("opt_{i}"))),
+        any::<proptest::sample::Index>().prop_map(Step::DropField),
+        any::<proptest::sample::Index>().prop_map(Step::WidenLongToDouble),
+    ]
+}
+
+fn base_schema() -> RecordSchema {
+    RecordSchema::new(
+        "doc",
+        1,
+        vec![
+            Field::new("id", FieldType::Long),
+            Field::new("name", FieldType::Str),
+            Field::new("score", FieldType::Long),
+        ],
+    )
+    .unwrap()
+}
+
+/// Applies a step, returning the next version (or None if the step is a
+/// no-op in context, e.g. dropping when only one field remains).
+fn apply_step(prev: &RecordSchema, step: &Step) -> Option<RecordSchema> {
+    let mut fields = prev.fields.clone();
+    match step {
+        Step::AddLongWithDefault(name, default) => {
+            if fields.iter().any(|f| &f.name == name) {
+                return None;
+            }
+            fields.push(Field::new(name.clone(), FieldType::Long).with_default(Value::Long(*default)));
+        }
+        Step::AddOptionalStr(name) => {
+            if fields.iter().any(|f| &f.name == name) {
+                return None;
+            }
+            fields.push(Field::new(
+                name.clone(),
+                FieldType::Optional(Box::new(FieldType::Str)),
+            ));
+        }
+        Step::DropField(idx) => {
+            if fields.len() <= 1 {
+                return None;
+            }
+            let i = idx.index(fields.len());
+            fields.remove(i);
+        }
+        Step::WidenLongToDouble(idx) => {
+            let longs: Vec<usize> = fields
+                .iter()
+                .enumerate()
+                .filter(|(_, f)| f.ty == FieldType::Long)
+                .map(|(i, _)| i)
+                .collect();
+            if longs.is_empty() {
+                return None;
+            }
+            let i = longs[idx.index(longs.len())];
+            fields[i].ty = FieldType::Double;
+            // A Long default must widen with the type.
+            if let Some(Value::Long(v)) = fields[i].default.clone() {
+                fields[i].default = Some(Value::Double(v as f64));
+            }
+        }
+    }
+    RecordSchema::new("doc", prev.version + 1, fields).ok()
+}
+
+/// A record valid under `schema` with deterministic-ish content.
+fn record_for(schema: &RecordSchema, seed: i64) -> Record {
+    let mut record = Record::new();
+    for field in &schema.fields {
+        let value = match &field.ty {
+            FieldType::Long => Value::Long(seed),
+            FieldType::Double => Value::Double(seed as f64),
+            FieldType::Str => Value::Str(format!("s{seed}")),
+            FieldType::Bool => Value::Bool(seed % 2 == 0),
+            FieldType::Bytes => Value::Bytes(vec![seed as u8]),
+            FieldType::Optional(_) => Value::Null,
+            FieldType::Array(_) => Value::Array(vec![]),
+        };
+        record.set(field.name.clone(), value);
+    }
+    record
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn prop_any_compatible_chain_reads_all_history(
+        raw_steps in proptest::collection::vec((0..4usize).prop_flat_map(arb_step), 0..6),
+        seed in 0i64..1000,
+    ) {
+        // Build the chain, registering each version (the registry enforces
+        // the evolution rules — a rejected step would fail the test).
+        let mut registry = SchemaRegistry::new();
+        let mut versions = vec![base_schema()];
+        registry.register(base_schema()).unwrap();
+        for step in &raw_steps {
+            let prev = versions.last().unwrap();
+            if let Some(next) = apply_step(prev, step) {
+                // check_evolution must accept what we constructed.
+                prop_assert!(prev.check_evolution(&next).is_ok(), "{step:?}");
+                registry.register(next.clone()).unwrap();
+                versions.push(next);
+            }
+        }
+        let latest = registry.latest("doc").unwrap();
+
+        // A document written under ANY version resolves under the latest.
+        for writer in &versions {
+            let record = record_for(writer, seed);
+            let bytes = encode(writer, &record).unwrap();
+            let resolved = resolve(writer, &latest, &bytes).unwrap();
+            // Every reader field must be present.
+            for field in &latest.fields {
+                prop_assert!(
+                    resolved.get(&field.name).is_some(),
+                    "missing `{}` reading v{} under v{}",
+                    field.name, writer.version, latest.version
+                );
+            }
+            // Shared primitive fields carry their (possibly widened) value.
+            for field in &latest.fields {
+                if writer.field(&field.name).is_none() {
+                    continue;
+                }
+                match (&field.ty, resolved.get(&field.name).unwrap()) {
+                    (FieldType::Long, Value::Long(v)) => prop_assert_eq!(*v, seed),
+                    (FieldType::Double, Value::Double(v)) => {
+                        prop_assert!((*v - seed as f64).abs() < f64::EPSILON)
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn prop_incompatible_steps_rejected(
+        field_idx in any::<proptest::sample::Index>(),
+    ) {
+        // Narrowing Double -> Long and adding a defaultless required field
+        // must always be rejected, whatever the schema looks like.
+        let base = base_schema();
+        let mut widened = base.fields.clone();
+        // Widen a random *Long* field (Str can't legally widen).
+        let longs: Vec<usize> = widened
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| f.ty == FieldType::Long)
+            .map(|(i, _)| i)
+            .collect();
+        let i = longs[field_idx.index(longs.len())];
+        widened[i].ty = FieldType::Double;
+        let v2 = RecordSchema::new("doc", 2, widened.clone()).unwrap();
+        base.check_evolution(&v2).unwrap();
+
+        // Narrow back: rejected.
+        let mut narrowed = widened.clone();
+        narrowed[i].ty = FieldType::Long;
+        let v3_bad = RecordSchema::new("doc", 3, narrowed).unwrap();
+        prop_assert!(v2.check_evolution(&v3_bad).is_err());
+
+        // Defaultless required addition: rejected.
+        let mut extended = widened;
+        extended.push(Field::new("required_new", FieldType::Str));
+        let v3_bad2 = RecordSchema::new("doc", 3, extended).unwrap();
+        prop_assert!(v2.check_evolution(&v3_bad2).is_err());
+    }
+}
