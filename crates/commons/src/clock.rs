@@ -9,7 +9,7 @@
 //! already-written clock fails with a special error — is implemented in
 //! `li-voldemort` on top of [`Occurred`].
 
-use serde::{Deserialize, Serialize};
+use serde::{get_field, object, DeError, Deserialize, JsonValue, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -40,9 +40,23 @@ pub enum Occurred {
 /// Stored as a sorted map so serialization is canonical — two equal clocks
 /// always serialize to identical bytes, which Voldemort's read-repair
 /// relies on when comparing replica responses.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
 pub struct VectorClock {
     entries: BTreeMap<WriterId, u64>,
+}
+
+impl Serialize for VectorClock {
+    fn to_json_value(&self) -> JsonValue {
+        object(vec![("entries", self.entries.to_json_value())])
+    }
+}
+
+impl Deserialize for VectorClock {
+    fn from_json_value(value: &JsonValue) -> Result<Self, DeError> {
+        Ok(VectorClock {
+            entries: get_field(value, "entries")?,
+        })
+    }
 }
 
 impl VectorClock {
@@ -198,12 +212,30 @@ impl fmt::Display for VectorClock {
 
 /// A value tagged with the vector clock that versions it — the unit
 /// Voldemort's client API traffics in (`VectorClock<V> get(K key)`).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Versioned<V> {
     /// The version of this value.
     pub clock: VectorClock,
     /// The value payload.
     pub value: V,
+}
+
+impl<V: Serialize> Serialize for Versioned<V> {
+    fn to_json_value(&self) -> JsonValue {
+        object(vec![
+            ("clock", self.clock.to_json_value()),
+            ("value", self.value.to_json_value()),
+        ])
+    }
+}
+
+impl<V: Deserialize> Deserialize for Versioned<V> {
+    fn from_json_value(value: &JsonValue) -> Result<Self, DeError> {
+        Ok(Versioned {
+            clock: get_field(value, "clock")?,
+            value: get_field(value, "value")?,
+        })
+    }
 }
 
 impl<V> Versioned<V> {

@@ -221,6 +221,78 @@ mod tests {
     }
 
     #[test]
+    fn percentile_relative_error_under_one_point_six_percent() {
+        // With SUB_BUCKET_BITS = 6 each power-of-two range splits into 64
+        // sub-buckets, so a reported quantile (bucket lower bound) sits
+        // within 1/64 ≈ 1.6% below the true value.
+        let mut value = 64u64;
+        while value < 1 << 40 {
+            let mut h = Histogram::new();
+            h.record(value);
+            let q = h.quantile(0.5);
+            assert!(q <= value, "quantile overshot: {q} > {value}");
+            let err = (value - q) as f64 / value as f64;
+            assert!(err < 1.0 / 64.0, "value {value}: error {err} >= 1/64");
+            value = value.saturating_mul(7).saturating_add(13);
+        }
+    }
+
+    #[test]
+    fn merge_matches_recording_into_one() {
+        let mut merged = Histogram::new();
+        let mut direct = Histogram::new();
+        let mut other = Histogram::new();
+        for i in 1..=1000u64 {
+            let v = i * 997;
+            direct.record(v);
+            if i % 2 == 0 {
+                merged.record(v);
+            } else {
+                other.record(v);
+            }
+        }
+        merged.merge(&other);
+        assert_eq!(merged.count(), direct.count());
+        assert_eq!(merged.min(), direct.min());
+        assert_eq!(merged.max(), direct.max());
+        assert_eq!(merged.mean(), direct.mean());
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(merged.quantile(q), direct.quantile(q), "q={q}");
+        }
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut h = Histogram::new();
+        h.record(42);
+        let before = (h.count(), h.min(), h.max(), h.mean());
+        h.merge(&Histogram::new());
+        assert_eq!((h.count(), h.min(), h.max(), h.mean()), before);
+    }
+
+    #[test]
+    fn zero_value_round_trips() {
+        let mut h = Histogram::new();
+        h.record(0);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.quantile(1.0), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn max_value_does_not_overflow_quantile() {
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        let q = h.quantile(1.0);
+        let err = (u64::MAX - q) as f64 / u64::MAX as f64;
+        assert!(err < 1.0 / 64.0, "error {err} >= 1/64");
+        assert_eq!(h.max(), u64::MAX);
+    }
+
+    #[test]
     fn huge_values_do_not_panic() {
         let mut h = Histogram::new();
         h.record(u64::MAX);

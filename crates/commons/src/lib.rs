@@ -23,6 +23,8 @@
 //!   paper's systems assume (MD5-keyed read-only indexes, CRC-framed log
 //!   entries, hash routing, compact integer framing).
 //! * [`hist`] — a latency histogram for the benchmark harness.
+//! * [`metrics`] — the unified metrics registry (counters, gauges,
+//!   histograms) every system exports its observability through.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -35,6 +37,7 @@ pub mod failure;
 pub mod fnv;
 pub mod hist;
 pub mod md5;
+pub mod metrics;
 pub mod ring;
 pub mod schema;
 pub mod sim;

@@ -1,0 +1,704 @@
+//! Unified metrics layer shared by every system in the reproduction.
+//!
+//! The paper's systems each shipped with their own ad-hoc monitoring; this
+//! module gives the reproduction one registry of named **counters**,
+//! **gauges**, and **histograms** (backed by [`crate::hist::Histogram`]
+//! for bounded-error percentiles), so Voldemort, Kafka, Databus, Espresso,
+//! the sqlstore, Helix, and ZooKeeper all report through the same pipe.
+//!
+//! # Naming
+//!
+//! Metric names are dot-separated paths:
+//! `<system>.<node-or-component>.<metric>`, e.g.
+//! `voldemort.node3.get.latency_ns` or `kafka.consumer.lag`. The
+//! [`MetricsScope`] helper appends segments so a component only ever names
+//! its own leaf metrics.
+//!
+//! # Hot-path cost
+//!
+//! [`Counter`] and [`Gauge`] are single atomics: fetch the handle once
+//! (registry lookup takes a lock), then every update is one atomic RMW.
+//! [`Histo`] takes a short mutex per record. Handles are cheap clones of
+//! `Arc`s, so components cache them at construction time.
+//!
+//! # Snapshots
+//!
+//! [`MetricsRegistry::snapshot`] captures a point-in-time
+//! [`MetricsSnapshot`]: counters and gauges exactly, histograms as a
+//! [`HistogramSummary`] (count/mean/min/max/p50/p99/p999). Snapshots
+//! subtract ([`MetricsSnapshot::delta`]) for per-interval views, print as
+//! an aligned text table, and round-trip through JSON.
+
+use parking_lot::Mutex;
+use serde::{get_field, object, DeError, Deserialize, JsonValue, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::hist::Histogram;
+
+/// A monotonically increasing event count (one atomic on the hot path).
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn value(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// An instantaneous signed level (queue depth, lag, offset).
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// Sets the level.
+    pub fn set(&self, value: i64) {
+        self.0.store(value, Ordering::Relaxed);
+    }
+
+    /// Moves the level up by `delta`.
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Moves the level down by `delta`.
+    pub fn sub(&self, delta: i64) {
+        self.0.fetch_sub(delta, Ordering::Relaxed);
+    }
+
+    /// Current level.
+    pub fn value(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A latency/size distribution with bounded-relative-error percentiles.
+#[derive(Debug, Clone, Default)]
+pub struct Histo(Arc<Mutex<Histogram>>);
+
+impl Histo {
+    /// Records one observation (nanoseconds by convention for latencies).
+    pub fn record(&self, value: u64) {
+        self.0.lock().record(value);
+    }
+
+    /// Records a [`Duration`] in nanoseconds.
+    pub fn record_duration(&self, d: Duration) {
+        self.0.lock().record_duration(d);
+    }
+
+    /// Starts a timer that records its elapsed wall time on drop.
+    pub fn start_timer(&self) -> HistoTimer {
+        HistoTimer {
+            histo: self.clone(),
+            start: Instant::now(),
+        }
+    }
+
+    /// Merges a pre-recorded histogram into this one (bulk import — e.g.
+    /// a workload driver publishing its offline latency report).
+    pub fn merge_from(&self, other: &Histogram) {
+        self.0.lock().merge(other);
+    }
+
+    /// A point-in-time copy of the underlying histogram.
+    pub fn snapshot(&self) -> Histogram {
+        self.0.lock().clone()
+    }
+
+    /// Summarizes the current distribution.
+    pub fn summary(&self) -> HistogramSummary {
+        HistogramSummary::of(&self.0.lock())
+    }
+}
+
+/// Guard returned by [`Histo::start_timer`]; records elapsed nanoseconds
+/// into the histogram when dropped.
+#[derive(Debug)]
+pub struct HistoTimer {
+    histo: Histo,
+    start: Instant,
+}
+
+impl Drop for HistoTimer {
+    fn drop(&mut self) {
+        self.histo.record_duration(self.start.elapsed());
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histo(Histo),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histo(_) => "histogram",
+        }
+    }
+}
+
+/// The shared registry: name → metric, scoped via [`MetricsScope`].
+///
+/// Clusters own one `Arc<MetricsRegistry>` and hand scoped views to their
+/// nodes and clients; `snapshot()` then sees the whole system at once.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    metrics: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Arc<Self> {
+        Arc::new(MetricsRegistry::default())
+    }
+
+    fn get_or_insert<T: Clone>(
+        &self,
+        name: &str,
+        make: impl FnOnce() -> Metric,
+        pick: impl Fn(&Metric) -> Option<T>,
+    ) -> T {
+        let mut metrics = self.metrics.lock();
+        let metric = metrics
+            .entry(name.to_string())
+            .or_insert_with(make);
+        pick(metric).unwrap_or_else(|| {
+            panic!(
+                "metric `{name}` already registered as a {}",
+                metric.kind()
+            )
+        })
+    }
+
+    /// The counter named `name`, creating it at zero on first use.
+    ///
+    /// Panics if `name` is already a gauge or histogram — one name, one
+    /// metric kind, across the whole process.
+    pub fn counter(&self, name: &str) -> Counter {
+        self.get_or_insert(
+            name,
+            || Metric::Counter(Counter::default()),
+            |m| match m {
+                Metric::Counter(c) => Some(c.clone()),
+                _ => None,
+            },
+        )
+    }
+
+    /// The gauge named `name`, creating it at zero on first use.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        self.get_or_insert(
+            name,
+            || Metric::Gauge(Gauge::default()),
+            |m| match m {
+                Metric::Gauge(g) => Some(g.clone()),
+                _ => None,
+            },
+        )
+    }
+
+    /// The histogram named `name`, creating it empty on first use.
+    pub fn histogram(&self, name: &str) -> Histo {
+        self.get_or_insert(
+            name,
+            || Metric::Histo(Histo::default()),
+            |m| match m {
+                Metric::Histo(h) => Some(h.clone()),
+                _ => None,
+            },
+        )
+    }
+
+    /// A view that prefixes every metric name with `prefix` + `.`.
+    pub fn scope(self: &Arc<Self>, prefix: impl Into<String>) -> MetricsScope {
+        MetricsScope {
+            registry: Arc::clone(self),
+            prefix: prefix.into(),
+        }
+    }
+
+    /// Captures every registered metric at this instant.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let metrics = self.metrics.lock();
+        MetricsSnapshot {
+            metrics: metrics
+                .iter()
+                .map(|(name, metric)| {
+                    let value = match metric {
+                        Metric::Counter(c) => MetricValue::Counter(c.value()),
+                        Metric::Gauge(g) => MetricValue::Gauge(g.value()),
+                        Metric::Histo(h) => MetricValue::Histogram(h.summary()),
+                    };
+                    (name.clone(), value)
+                })
+                .collect(),
+        }
+    }
+}
+
+/// A dotted-prefix view over a [`MetricsRegistry`].
+#[derive(Debug, Clone)]
+pub struct MetricsScope {
+    registry: Arc<MetricsRegistry>,
+    prefix: String,
+}
+
+impl MetricsScope {
+    fn full(&self, name: &str) -> String {
+        format!("{}.{name}", self.prefix)
+    }
+
+    /// The counter `<prefix>.<name>`.
+    pub fn counter(&self, name: &str) -> Counter {
+        self.registry.counter(&self.full(name))
+    }
+
+    /// The gauge `<prefix>.<name>`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        self.registry.gauge(&self.full(name))
+    }
+
+    /// The histogram `<prefix>.<name>`.
+    pub fn histogram(&self, name: &str) -> Histo {
+        self.registry.histogram(&self.full(name))
+    }
+
+    /// A deeper scope `<prefix>.<segment>`.
+    pub fn scope(&self, segment: &str) -> MetricsScope {
+        MetricsScope {
+            registry: Arc::clone(&self.registry),
+            prefix: self.full(segment),
+        }
+    }
+
+    /// The registry this scope writes into.
+    pub fn registry(&self) -> &Arc<MetricsRegistry> {
+        &self.registry
+    }
+}
+
+/// Distribution summary exported in snapshots.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSummary {
+    /// Number of observations.
+    pub count: u64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Smallest observation (0 when empty).
+    pub min: u64,
+    /// Largest observation.
+    pub max: u64,
+    /// Median.
+    pub p50: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// 99.9th percentile.
+    pub p999: u64,
+}
+
+impl HistogramSummary {
+    /// Summarizes a histogram.
+    pub fn of(h: &Histogram) -> Self {
+        HistogramSummary {
+            count: h.count(),
+            mean: h.mean(),
+            min: h.min(),
+            max: h.max(),
+            p50: h.quantile(0.5),
+            p99: h.quantile(0.99),
+            p999: h.quantile(0.999),
+        }
+    }
+}
+
+impl Serialize for HistogramSummary {
+    fn to_json_value(&self) -> JsonValue {
+        object(vec![
+            ("count", self.count.to_json_value()),
+            ("mean", self.mean.to_json_value()),
+            ("min", self.min.to_json_value()),
+            ("max", self.max.to_json_value()),
+            ("p50", self.p50.to_json_value()),
+            ("p99", self.p99.to_json_value()),
+            ("p999", self.p999.to_json_value()),
+        ])
+    }
+}
+
+impl Deserialize for HistogramSummary {
+    fn from_json_value(value: &JsonValue) -> Result<Self, DeError> {
+        Ok(HistogramSummary {
+            count: get_field(value, "count")?,
+            mean: get_field(value, "mean")?,
+            min: get_field(value, "min")?,
+            max: get_field(value, "max")?,
+            p50: get_field(value, "p50")?,
+            p99: get_field(value, "p99")?,
+            p999: get_field(value, "p999")?,
+        })
+    }
+}
+
+/// One metric's value inside a snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// A counter reading.
+    Counter(u64),
+    /// A gauge reading.
+    Gauge(i64),
+    /// A histogram summary.
+    Histogram(HistogramSummary),
+}
+
+/// JSON form: a one-entry object tagged by kind, e.g. `{"counter": 17}`,
+/// so readings stay unambiguous across export/import.
+impl Serialize for MetricValue {
+    fn to_json_value(&self) -> JsonValue {
+        match self {
+            MetricValue::Counter(v) => object(vec![("counter", v.to_json_value())]),
+            MetricValue::Gauge(v) => object(vec![("gauge", v.to_json_value())]),
+            MetricValue::Histogram(s) => object(vec![("histogram", s.to_json_value())]),
+        }
+    }
+}
+
+impl Deserialize for MetricValue {
+    fn from_json_value(value: &JsonValue) -> Result<Self, DeError> {
+        let entries = value
+            .as_object()
+            .filter(|e| e.len() == 1)
+            .ok_or_else(|| DeError::expected("one-entry metric object", value))?;
+        let (tag, payload) = &entries[0];
+        match tag.as_str() {
+            "counter" => u64::from_json_value(payload).map(MetricValue::Counter),
+            "gauge" => i64::from_json_value(payload).map(MetricValue::Gauge),
+            "histogram" => {
+                HistogramSummary::from_json_value(payload).map(MetricValue::Histogram)
+            }
+            other => Err(DeError(format!("unknown metric kind `{other}`"))),
+        }
+    }
+}
+
+/// A point-in-time capture of every metric in a registry.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricsSnapshot {
+    metrics: BTreeMap<String, MetricValue>,
+}
+
+impl MetricsSnapshot {
+    /// Builds a snapshot from explicit readings (mostly for tests and for
+    /// JSON import).
+    pub fn from_readings(readings: impl IntoIterator<Item = (String, MetricValue)>) -> Self {
+        MetricsSnapshot {
+            metrics: readings.into_iter().collect(),
+        }
+    }
+
+    /// All readings in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &MetricValue)> {
+        self.metrics.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Number of metrics captured.
+    pub fn len(&self) -> usize {
+        self.metrics.len()
+    }
+
+    /// True when nothing was captured.
+    pub fn is_empty(&self) -> bool {
+        self.metrics.is_empty()
+    }
+
+    /// The reading named `name`.
+    pub fn get(&self, name: &str) -> Option<&MetricValue> {
+        self.metrics.get(name)
+    }
+
+    /// Counter reading, if `name` is a counter.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        match self.metrics.get(name) {
+            Some(MetricValue::Counter(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Gauge reading, if `name` is a gauge.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        match self.metrics.get(name) {
+            Some(MetricValue::Gauge(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Histogram summary, if `name` is a histogram.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSummary> {
+        match self.metrics.get(name) {
+            Some(MetricValue::Histogram(s)) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Sums all counter readings whose name starts with `prefix`.
+    pub fn counter_sum(&self, prefix: &str) -> u64 {
+        self.metrics
+            .iter()
+            .filter(|(name, _)| name.starts_with(prefix))
+            .filter_map(|(_, v)| match v {
+                MetricValue::Counter(c) => Some(*c),
+                _ => None,
+            })
+            .sum()
+    }
+
+    /// The interval view `self - earlier`: counters and histogram counts
+    /// subtract (saturating); gauges and histogram statistics keep this
+    /// snapshot's (current) readings; metrics absent from `earlier` pass
+    /// through unchanged.
+    pub fn delta(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        let metrics = self
+            .metrics
+            .iter()
+            .map(|(name, value)| {
+                let delta = match (value, earlier.metrics.get(name)) {
+                    (MetricValue::Counter(now), Some(MetricValue::Counter(then))) => {
+                        MetricValue::Counter(now.saturating_sub(*then))
+                    }
+                    (MetricValue::Histogram(now), Some(MetricValue::Histogram(then))) => {
+                        MetricValue::Histogram(HistogramSummary {
+                            count: now.count.saturating_sub(then.count),
+                            ..now.clone()
+                        })
+                    }
+                    (value, _) => value.clone(),
+                };
+                (name.clone(), delta)
+            })
+            .collect();
+        MetricsSnapshot { metrics }
+    }
+
+    /// Renders an aligned `name  value` table, histograms as one-line
+    /// summaries — the per-run report the workload driver prints.
+    pub fn to_text_table(&self) -> String {
+        let width = self
+            .metrics
+            .keys()
+            .map(String::len)
+            .max()
+            .unwrap_or(0)
+            .max("metric".len());
+        let mut out = format!("{:<width$}  value\n", "metric");
+        for (name, value) in &self.metrics {
+            let rendered = match value {
+                MetricValue::Counter(v) => format!("{v}"),
+                MetricValue::Gauge(v) => format!("{v}"),
+                MetricValue::Histogram(s) => format!(
+                    "n={} mean={:.0} p50={} p99={} max={}",
+                    s.count, s.mean, s.p50, s.p99, s.max
+                ),
+            };
+            out.push_str(&format!("{name:<width$}  {rendered}\n"));
+        }
+        out
+    }
+
+    /// Exports as JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("snapshot serializes")
+    }
+
+    /// Imports from JSON produced by [`MetricsSnapshot::to_json`].
+    pub fn from_json(json: &str) -> Result<Self, String> {
+        serde_json::from_str(json).map_err(|e| e.to_string())
+    }
+}
+
+impl Serialize for MetricsSnapshot {
+    fn to_json_value(&self) -> JsonValue {
+        self.metrics.to_json_value()
+    }
+}
+
+impl Deserialize for MetricsSnapshot {
+    fn from_json_value(value: &JsonValue) -> Result<Self, DeError> {
+        Ok(MetricsSnapshot {
+            metrics: BTreeMap::from_json_value(value)?,
+        })
+    }
+}
+
+impl fmt::Display for MetricsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_text_table())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn counter_gauge_histogram_basics() {
+        let registry = MetricsRegistry::new();
+        let hits = registry.counter("web.hits");
+        hits.inc();
+        hits.add(4);
+        assert_eq!(hits.value(), 5);
+
+        let depth = registry.gauge("queue.depth");
+        depth.set(7);
+        depth.sub(2);
+        assert_eq!(depth.value(), 5);
+
+        let lat = registry.histogram("lat_ns");
+        lat.record(1000);
+        lat.record(3000);
+        assert_eq!(lat.summary().count, 2);
+        assert_eq!(lat.summary().mean, 2000.0);
+    }
+
+    #[test]
+    fn same_name_returns_same_metric() {
+        let registry = MetricsRegistry::new();
+        registry.counter("a").inc();
+        registry.counter("a").inc();
+        assert_eq!(registry.counter("a").value(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_collision_panics() {
+        let registry = MetricsRegistry::new();
+        registry.counter("x");
+        registry.gauge("x");
+    }
+
+    #[test]
+    fn scopes_prefix_names() {
+        let registry = MetricsRegistry::new();
+        let node = registry.scope("voldemort").scope("node3");
+        node.counter("get.ok").inc();
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("voldemort.node3.get.ok"), Some(1));
+    }
+
+    #[test]
+    fn concurrent_increments_sum_exactly() {
+        let registry = MetricsRegistry::new();
+        let counter = registry.counter("contended");
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let counter = counter.clone();
+                thread::spawn(move || {
+                    for _ in 0..10_000 {
+                        counter.inc();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(counter.value(), 80_000);
+    }
+
+    #[test]
+    fn snapshot_is_isolated_from_later_updates() {
+        let registry = MetricsRegistry::new();
+        let counter = registry.counter("c");
+        counter.add(3);
+        let snap = registry.snapshot();
+        counter.add(100);
+        registry.gauge("late").set(9);
+        assert_eq!(snap.counter("c"), Some(3));
+        assert!(snap.get("late").is_none());
+        assert_eq!(registry.snapshot().counter("c"), Some(103));
+    }
+
+    #[test]
+    fn delta_subtracts_counters_keeps_gauges() {
+        let registry = MetricsRegistry::new();
+        let counter = registry.counter("events");
+        let gauge = registry.gauge("level");
+        let histo = registry.histogram("lat");
+        counter.add(10);
+        gauge.set(5);
+        histo.record(100);
+        let before = registry.snapshot();
+        counter.add(7);
+        gauge.set(-3);
+        histo.record(200);
+        let delta = registry.snapshot().delta(&before);
+        assert_eq!(delta.counter("events"), Some(7));
+        assert_eq!(delta.gauge("level"), Some(-3));
+        assert_eq!(delta.histogram("lat").unwrap().count, 1);
+    }
+
+    #[test]
+    fn timer_records_elapsed() {
+        let registry = MetricsRegistry::new();
+        let lat = registry.histogram("t");
+        {
+            let _timer = lat.start_timer();
+        }
+        assert_eq!(lat.summary().count, 1);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let registry = MetricsRegistry::new();
+        registry.counter("c").add(42);
+        registry.gauge("g").set(-7);
+        let histo = registry.histogram("h");
+        histo.record(1_000);
+        histo.record(2_000);
+        let snap = registry.snapshot();
+        let back = MetricsSnapshot::from_json(&snap.to_json()).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn text_table_lists_every_metric() {
+        let registry = MetricsRegistry::new();
+        registry.counter("kafka.bytes_in").add(1024);
+        registry.gauge("kafka.consumer.lag").set(0);
+        let table = registry.snapshot().to_text_table();
+        assert!(table.contains("kafka.bytes_in"));
+        assert!(table.contains("1024"));
+        assert!(table.contains("kafka.consumer.lag"));
+    }
+
+    #[test]
+    fn counter_sum_by_prefix() {
+        let registry = MetricsRegistry::new();
+        registry.counter("v.node0.put.ok").add(2);
+        registry.counter("v.node1.put.ok").add(3);
+        registry.counter("v.node1.get.ok").add(9);
+        registry.gauge("v.node1.put.weird").set(1);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter_sum("v.node0.put"), 2);
+        assert_eq!(snap.counter_sum("v.node"), 14);
+    }
+}

@@ -18,23 +18,51 @@
 //! with no network hops — the paper's headline routing claim, benchmarked
 //! against a Chord baseline in `li-bench`.
 
-use serde::{Deserialize, Serialize};
+use serde::{get_field, object, DeError, Deserialize, JsonKey, JsonValue, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
 
 use crate::fnv::fnv1a;
 
 /// Identifier of a physical node in a cluster.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NodeId(pub u16);
 
 /// Identifier of a logical partition on the hash ring.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct PartitionId(pub u32);
 
 /// Identifier of a zone (a co-located group of nodes, e.g. a datacenter).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ZoneId(pub u8);
+
+/// The id newtypes serialize as their bare integers (and as decimal
+/// strings when used as JSON object keys), matching serde's newtype and
+/// integer-key behavior.
+macro_rules! id_serde {
+    ($($id:ident($inner:ty)),*) => {$(
+        impl Serialize for $id {
+            fn to_json_value(&self) -> JsonValue {
+                self.0.to_json_value()
+            }
+        }
+        impl Deserialize for $id {
+            fn from_json_value(value: &JsonValue) -> Result<Self, DeError> {
+                <$inner>::from_json_value(value).map($id)
+            }
+        }
+        impl JsonKey for $id {
+            fn to_key(&self) -> String {
+                self.0.to_string()
+            }
+            fn from_key(key: &str) -> Result<Self, DeError> {
+                <$inner>::from_key(key).map($id)
+            }
+        }
+    )*};
+}
+
+id_serde!(NodeId(u16), PartitionId(u32), ZoneId(u8));
 
 impl fmt::Display for NodeId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -83,7 +111,7 @@ impl std::error::Error for RingError {}
 /// Cloneable and cheap to share; Voldemort replicates this to every node
 /// and every client ("we store the complete topology metadata on every
 /// node").
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HashRing {
     /// `owner[p]` is the node owning logical partition `p`.
     owner: Vec<NodeId>,
@@ -92,6 +120,26 @@ pub struct HashRing {
     /// Cached count of distinct zones (lookups are O(1), per the paper's
     /// routing claim — nothing on the request path may scan the topology).
     zone_count: usize,
+}
+
+impl Serialize for HashRing {
+    fn to_json_value(&self) -> JsonValue {
+        object(vec![
+            ("owner", self.owner.to_json_value()),
+            ("zones", self.zones.to_json_value()),
+            ("zone_count", self.zone_count.to_json_value()),
+        ])
+    }
+}
+
+impl Deserialize for HashRing {
+    fn from_json_value(value: &JsonValue) -> Result<Self, DeError> {
+        Ok(HashRing {
+            owner: get_field(value, "owner")?,
+            zones: get_field(value, "zones")?,
+            zone_count: get_field(value, "zone_count")?,
+        })
+    }
 }
 
 /// Counts distinct zones (admin-time only; the request path reads the

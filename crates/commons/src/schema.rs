@@ -22,7 +22,7 @@
 //! * [`SchemaRegistry`] — per-source version history, the piece the Databus
 //!   relay and Espresso storage nodes share.
 
-use serde::{Deserialize, Serialize};
+use serde::{get_field, get_field_or_default, object, DeError, Deserialize, JsonValue, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::Arc;
@@ -34,8 +34,7 @@ use bytes::Buf;
 pub type SchemaVersion = u16;
 
 /// The type of a record field.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
-#[serde(rename_all = "lowercase")]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum FieldType {
     /// Boolean.
     Bool,
@@ -51,6 +50,48 @@ pub enum FieldType {
     Optional(Box<FieldType>),
     /// Homogeneous list.
     Array(Box<FieldType>),
+}
+
+/// JSON form (serde's externally-tagged enum with lowercase names): unit
+/// variants are bare strings (`"long"`), wrapping variants are one-entry
+/// objects (`{"optional": "str"}`).
+impl Serialize for FieldType {
+    fn to_json_value(&self) -> JsonValue {
+        match self {
+            FieldType::Bool => JsonValue::Str("bool".into()),
+            FieldType::Long => JsonValue::Str("long".into()),
+            FieldType::Double => JsonValue::Str("double".into()),
+            FieldType::Str => JsonValue::Str("str".into()),
+            FieldType::Bytes => JsonValue::Str("bytes".into()),
+            FieldType::Optional(inner) => object(vec![("optional", inner.to_json_value())]),
+            FieldType::Array(inner) => object(vec![("array", inner.to_json_value())]),
+        }
+    }
+}
+
+impl Deserialize for FieldType {
+    fn from_json_value(value: &JsonValue) -> Result<Self, DeError> {
+        match value {
+            JsonValue::Str(tag) => match tag.as_str() {
+                "bool" => Ok(FieldType::Bool),
+                "long" => Ok(FieldType::Long),
+                "double" => Ok(FieldType::Double),
+                "str" => Ok(FieldType::Str),
+                "bytes" => Ok(FieldType::Bytes),
+                other => Err(DeError(format!("unknown field type `{other}`"))),
+            },
+            JsonValue::Object(entries) if entries.len() == 1 => {
+                let (tag, inner) = &entries[0];
+                let inner = Box::new(FieldType::from_json_value(inner)?);
+                match tag.as_str() {
+                    "optional" => Ok(FieldType::Optional(inner)),
+                    "array" => Ok(FieldType::Array(inner)),
+                    other => Err(DeError(format!("unknown field type `{other}`"))),
+                }
+            }
+            other => Err(DeError::expected("field type", other)),
+        }
+    }
 }
 
 impl FieldType {
@@ -71,8 +112,7 @@ impl FieldType {
 }
 
 /// A dynamically-typed field value.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-#[serde(untagged)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Value {
     /// Null (only valid for `Optional` fields).
     Null,
@@ -88,6 +128,57 @@ pub enum Value {
     Bytes(Vec<u8>),
     /// Array value.
     Array(Vec<Value>),
+}
+
+/// JSON form (serde's untagged representation): the payload alone, with
+/// deserialization trying variants in declaration order — so an array of
+/// byte-sized integers parses as `Bytes`, any other array as `Array`.
+impl Serialize for Value {
+    fn to_json_value(&self) -> JsonValue {
+        match self {
+            Value::Null => JsonValue::Null,
+            Value::Bool(v) => JsonValue::Bool(*v),
+            Value::Long(v) => JsonValue::Int(*v),
+            Value::Double(v) => JsonValue::Float(*v),
+            Value::Str(v) => JsonValue::Str(v.clone()),
+            Value::Bytes(v) => {
+                JsonValue::Array(v.iter().map(|b| JsonValue::Int(*b as i64)).collect())
+            }
+            Value::Array(items) => {
+                JsonValue::Array(items.iter().map(Serialize::to_json_value).collect())
+            }
+        }
+    }
+}
+
+impl Deserialize for Value {
+    fn from_json_value(value: &JsonValue) -> Result<Self, DeError> {
+        match value {
+            JsonValue::Null => Ok(Value::Null),
+            JsonValue::Bool(v) => Ok(Value::Bool(*v)),
+            JsonValue::Int(_) | JsonValue::UInt(_) => value
+                .as_i64()
+                .map(Value::Long)
+                .ok_or_else(|| DeError::expected("i64 value", value)),
+            JsonValue::Float(v) => Ok(Value::Double(*v)),
+            JsonValue::Str(v) => Ok(Value::Str(v.clone())),
+            JsonValue::Array(items) => {
+                let bytes: Option<Vec<u8>> = items
+                    .iter()
+                    .map(|item| item.as_u64().and_then(|v| u8::try_from(v).ok()))
+                    .collect();
+                match bytes {
+                    Some(bytes) => Ok(Value::Bytes(bytes)),
+                    None => items
+                        .iter()
+                        .map(Value::from_json_value)
+                        .collect::<Result<Vec<_>, _>>()
+                        .map(Value::Array),
+                }
+            }
+            other => Err(DeError::expected("value", other)),
+        }
+    }
 }
 
 impl Value {
@@ -119,20 +210,46 @@ impl Value {
 }
 
 /// One field of a record schema.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Field {
     /// Field name (unique within the schema).
     pub name: String,
-    /// Field type.
-    #[serde(rename = "type")]
+    /// Field type (serialized under the key `type`).
     pub ty: FieldType,
     /// Default used when a reader's field is absent from the writer schema.
-    #[serde(default, skip_serializing_if = "Option::is_none")]
     pub default: Option<Value>,
     /// Whether this field carries a secondary-index annotation (Espresso's
     /// "fields ... annotated with indexing constraints").
-    #[serde(default, skip_serializing_if = "std::ops::Not::not")]
     pub indexed: bool,
+}
+
+/// JSON form: `ty` is renamed to `type`; `default` and `indexed` are
+/// omitted when `None`/`false` and default-filled when absent.
+impl Serialize for Field {
+    fn to_json_value(&self) -> JsonValue {
+        let mut entries = vec![
+            ("name", self.name.to_json_value()),
+            ("type", self.ty.to_json_value()),
+        ];
+        if self.default.is_some() {
+            entries.push(("default", self.default.to_json_value()));
+        }
+        if self.indexed {
+            entries.push(("indexed", self.indexed.to_json_value()));
+        }
+        object(entries)
+    }
+}
+
+impl Deserialize for Field {
+    fn from_json_value(value: &JsonValue) -> Result<Self, DeError> {
+        Ok(Field {
+            name: get_field(value, "name")?,
+            ty: get_field(value, "type")?,
+            default: get_field_or_default(value, "default")?,
+            indexed: get_field_or_default(value, "indexed")?,
+        })
+    }
 }
 
 impl Field {
@@ -205,7 +322,7 @@ impl From<varint::VarintError> for SchemaError {
 }
 
 /// A named, versioned record schema.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RecordSchema {
     /// Record name, e.g. `"member_profile"`.
     pub name: String,
@@ -213,6 +330,26 @@ pub struct RecordSchema {
     pub version: SchemaVersion,
     /// Ordered field list; binary encoding follows this order.
     pub fields: Vec<Field>,
+}
+
+impl Serialize for RecordSchema {
+    fn to_json_value(&self) -> JsonValue {
+        object(vec![
+            ("name", self.name.to_json_value()),
+            ("version", self.version.to_json_value()),
+            ("fields", self.fields.to_json_value()),
+        ])
+    }
+}
+
+impl Deserialize for RecordSchema {
+    fn from_json_value(value: &JsonValue) -> Result<Self, DeError> {
+        Ok(RecordSchema {
+            name: get_field(value, "name")?,
+            version: get_field(value, "version")?,
+            fields: get_field(value, "fields")?,
+        })
+    }
 }
 
 impl RecordSchema {

@@ -4,8 +4,12 @@
 use std::sync::Arc;
 use std::time::Duration;
 
+use li_commons::metrics::{MetricsRegistry, MetricsSnapshot};
+use li_commons::ring::{HashRing, NodeId};
+use li_commons::sim::{RealClock, SimNetwork};
 use li_databus::{BootstrapServer, DatabusClient, LogShippingAdapter, Relay};
 use li_kafka::audit::{AuditedProducer, AUDIT_TOPIC};
+use li_kafka::log::LogConfig;
 use li_kafka::mirror::{MirrorMaker, WarehouseLoader};
 use li_kafka::{KafkaCluster, Producer, SimpleConsumer};
 use li_sqlstore::Database;
@@ -52,6 +56,7 @@ pub struct DataPlatform {
     /// The people-search index subscriber.
     pub search: Arc<SearchIndexer>,
 
+    metrics: Arc<MetricsRegistry>,
     follow_cacher: DatabusClient,
     search_client: DatabusClient,
     event_producer: AuditedProducer,
@@ -63,20 +68,35 @@ impl DataPlatform {
     /// Builds the platform: `voldemort_nodes` cache nodes and
     /// `kafka_brokers` per Kafka cluster.
     pub fn new(voldemort_nodes: u16, kafka_brokers: u16) -> Result<Self, PlatformError> {
+        // One registry for the whole site: every tier below reports into
+        // it, so a single snapshot shows the full pipeline.
+        let metrics = MetricsRegistry::new();
+
         // Primary store (Oracle analog) with the site's tables.
-        let primary = Arc::new(Database::new("primary"));
+        let primary = Arc::new(Database::with_metrics(
+            "primary",
+            Arc::new(RealClock::new()),
+            &metrics,
+        ));
         for table in ["member_follows", "company_followers", "member_profile"] {
             primary.create_table(table).map_err(wrap)?;
         }
 
         // Databus tier: relay captures the primary semi-synchronously;
         // bootstrap follows the relay.
-        let relay = Arc::new(Relay::new("primary", 32 << 20));
+        let relay = Arc::new(Relay::with_metrics("primary", 32 << 20, &metrics));
         LogShippingAdapter::attach(&primary, relay.clone());
         let bootstrap = Arc::new(BootstrapServer::new());
 
         // Voldemort cache stores for Company Follow (§II.C).
-        let voldemort = VoldemortCluster::new(64, voldemort_nodes).map_err(wrap)?;
+        let voldemort_nodes_ids: Vec<NodeId> = (0..voldemort_nodes).map(NodeId).collect();
+        let voldemort = VoldemortCluster::with_metrics(
+            HashRing::balanced(64, &voldemort_nodes_ids).map_err(wrap)?,
+            SimNetwork::reliable(),
+            Arc::new(RealClock::new()),
+            &metrics,
+        )
+        .map_err(wrap)?;
         voldemort
             .add_store(StoreDef::read_write("member-follows"))
             .map_err(wrap)?;
@@ -98,7 +118,16 @@ impl DataPlatform {
             DatabusClient::new(relay.clone(), Some(bootstrap.clone()), search.clone());
 
         // Kafka tier: live cluster + offline mirror + warehouse loader.
-        let kafka_live = KafkaCluster::new(kafka_brokers).map_err(wrap)?;
+        // The live cluster shares the site registry; the offline mirror
+        // keeps a private one so identical broker/topic metric names from
+        // the two datacenters never collide.
+        let kafka_live = KafkaCluster::with_metrics(
+            kafka_brokers,
+            LogConfig::default(),
+            Arc::new(RealClock::new()),
+            &metrics,
+        )
+        .map_err(wrap)?;
         let kafka_offline = KafkaCluster::new(kafka_brokers).map_err(wrap)?;
         for cluster in [&kafka_live, &kafka_offline] {
             cluster.create_topic(ACTIVITY_TOPIC, 8).map_err(wrap)?;
@@ -130,6 +159,7 @@ impl DataPlatform {
             kafka_live,
             kafka_offline,
             search,
+            metrics,
             follow_cacher,
             search_client,
             event_producer,
@@ -246,6 +276,18 @@ impl DataPlatform {
     /// Forces a warehouse load regardless of its period (tests).
     pub fn force_warehouse_load(&self) -> Result<usize, PlatformError> {
         self.warehouse.run_load().map_err(wrap)
+    }
+
+    /// The site-wide metrics registry: the primary store, the relay, the
+    /// Voldemort cluster, and the live Kafka cluster all report here.
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
+    }
+
+    /// A point-in-time snapshot of every site metric (render with
+    /// [`MetricsSnapshot::to_text_table`]).
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
     }
 }
 

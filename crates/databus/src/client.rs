@@ -11,6 +11,7 @@
 //! checkpoint only advances after the consumer acknowledges a window, so a
 //! crash between processing and checkpointing re-delivers the window.
 
+use li_commons::metrics::{Counter, Gauge};
 use parking_lot::Mutex;
 use std::fmt;
 use std::sync::Arc;
@@ -91,6 +92,27 @@ pub struct ClientStats {
     pub retries: u64,
 }
 
+/// Client-side observability under `databus.client.` in the relay's
+/// registry: windows processed, switchovers to the bootstrap service, and
+/// the current relay lag in SCNs (newest relay SCN minus checkpoint).
+#[derive(Debug, Clone)]
+struct DatabusClientMetrics {
+    windows_processed: Counter,
+    bootstrap_switchovers: Counter,
+    relay_lag_scns: Gauge,
+}
+
+impl DatabusClientMetrics {
+    fn new(relay: &Relay) -> Self {
+        let scope = relay.metrics().scope("databus.client");
+        DatabusClientMetrics {
+            windows_processed: scope.counter("windows_processed"),
+            bootstrap_switchovers: scope.counter("bootstrap_switchovers"),
+            relay_lag_scns: scope.gauge("relay_lag_scns"),
+        }
+    }
+}
+
 /// A Databus client bound to one consumer.
 pub struct DatabusClient {
     relay: Arc<Relay>,
@@ -102,6 +124,7 @@ pub struct DatabusClient {
     max_retries: u32,
     batch_windows: usize,
     stats: Mutex<ClientStats>,
+    metrics: DatabusClientMetrics,
 }
 
 impl DatabusClient {
@@ -111,6 +134,7 @@ impl DatabusClient {
         bootstrap: Option<Arc<BootstrapServer>>,
         consumer: Arc<dyn ConsumerCallback>,
     ) -> Self {
+        let metrics = DatabusClientMetrics::new(&relay);
         DatabusClient {
             relay,
             bootstrap,
@@ -121,7 +145,15 @@ impl DatabusClient {
             max_retries: 3,
             batch_windows: 64,
             stats: Mutex::new(ClientStats::default()),
+            metrics,
         }
+    }
+
+    /// Publishes the current relay lag (never negative: a checkpoint at or
+    /// past the newest buffered SCN reads as zero).
+    fn refresh_lag(&self) {
+        let lag = self.relay.newest_scn().saturating_sub(self.checkpoint());
+        self.metrics.relay_lag_scns.set(lag as i64);
     }
 
     /// Builder: server-side filter (the partitioning axis for scaled
@@ -214,6 +246,8 @@ impl DatabusClient {
                     processed += 1;
                 }
                 self.stats.lock().windows_from_relay += processed as u64;
+                self.metrics.windows_processed.add(processed as u64);
+                self.refresh_lag();
                 Ok(processed)
             }
             Err(RelayError::ScnNotFound { oldest, .. }) => {
@@ -223,6 +257,7 @@ impl DatabusClient {
                         oldest,
                     });
                 };
+                self.metrics.bootstrap_switchovers.inc();
                 if checkpoint == 0 {
                     // Fresh client: consistent snapshot at U.
                     self.consumer.on_snapshot_start();
@@ -247,6 +282,9 @@ impl DatabusClient {
                     let mut stats = self.stats.lock();
                     stats.snapshots += 1;
                     stats.windows_from_bootstrap += 1;
+                    drop(stats);
+                    self.metrics.windows_processed.inc();
+                    self.refresh_lag();
                     Ok(1)
                 } else {
                     // Fallen-behind client: consolidated delta since T.
@@ -263,6 +301,9 @@ impl DatabusClient {
                     let mut stats = self.stats.lock();
                     stats.deltas += 1;
                     stats.windows_from_bootstrap += 1;
+                    drop(stats);
+                    self.metrics.windows_processed.inc();
+                    self.refresh_lag();
                     Ok(1)
                 }
             }

@@ -15,14 +15,37 @@
 //! source, locating a start SCN is a binary search (the paper's "index
 //! structures").
 
+use li_commons::metrics::{Counter, Gauge, MetricsRegistry};
 use parking_lot::Mutex;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 use li_sqlstore::{BinlogEntry, Scn, ShipError, Shipper};
 
 use crate::event::{ServerFilter, Window};
+
+/// Relay observability under `databus.relay.<source>.`: change events
+/// relayed to clients, windows ingested from the source, and the newest
+/// buffered SCN (the reference point for client lag).
+#[derive(Debug, Clone)]
+struct RelayMetrics {
+    events_relayed: Counter,
+    windows_in: Counter,
+    newest_scn: Gauge,
+}
+
+impl RelayMetrics {
+    fn new(registry: &Arc<MetricsRegistry>, source_db: &str) -> Self {
+        let scope = registry.scope(format!("databus.relay.{source_db}"));
+        RelayMetrics {
+            events_relayed: scope.counter("events_relayed"),
+            windows_in: scope.counter("windows_ingested"),
+            newest_scn: scope.gauge("newest_scn"),
+        }
+    }
+}
 
 /// Errors from relay serving.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -76,6 +99,8 @@ pub struct Relay {
     /// client reads the relay absorbed (that never touched the source DB).
     reads_served: AtomicU64,
     windows_ingested: AtomicU64,
+    registry: Arc<MetricsRegistry>,
+    metrics: RelayMetrics,
 }
 
 impl fmt::Debug for Relay {
@@ -91,15 +116,33 @@ impl fmt::Debug for Relay {
 
 impl Relay {
     /// Creates a relay for `source_db` with a byte budget for the circular
-    /// buffer.
+    /// buffer, reporting into a private metrics registry.
     pub fn new(source_db: impl Into<String>, max_bytes: usize) -> Self {
+        Self::with_metrics(source_db, max_bytes, &MetricsRegistry::new())
+    }
+
+    /// Creates a relay reporting under `databus.relay.<source>.` in
+    /// `registry`. Clients of this relay report into the same registry.
+    pub fn with_metrics(
+        source_db: impl Into<String>,
+        max_bytes: usize,
+        registry: &Arc<MetricsRegistry>,
+    ) -> Self {
+        let source_db = source_db.into();
         Relay {
-            source_db: source_db.into(),
+            metrics: RelayMetrics::new(registry, &source_db),
+            source_db,
             max_bytes: max_bytes.max(1),
             buffer: Mutex::new(Buffer::default()),
             reads_served: AtomicU64::new(0),
             windows_ingested: AtomicU64::new(0),
+            registry: Arc::clone(registry),
         }
+    }
+
+    /// The metrics registry this relay (and its clients) report into.
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.registry
     }
 
     /// The source database this relay captures.
@@ -128,6 +171,10 @@ impl Relay {
             }
         }
         self.windows_ingested.fetch_add(1, Ordering::Relaxed);
+        self.metrics.windows_in.inc();
+        self.metrics
+            .newest_scn
+            .set(buffer.windows.back().map_or(0, |w| w.scn) as i64);
         Ok(())
     }
 
@@ -199,6 +246,8 @@ impl Relay {
             .map(|w| filter.apply(w))
             .collect();
         self.reads_served.fetch_add(1, Ordering::Relaxed);
+        let events: usize = out.iter().map(|w| w.changes.len()).sum();
+        self.metrics.events_relayed.add(events as u64);
         Ok(out)
     }
 

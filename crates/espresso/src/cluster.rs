@@ -14,6 +14,7 @@ use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::sync::{Arc, Weak};
 
+use li_commons::metrics::{Counter, Histo, MetricsRegistry};
 use li_commons::ring::{NodeId, PartitionId};
 use li_commons::schema::Record;
 use li_databus::Relay;
@@ -28,6 +29,27 @@ use crate::uri::ResourcePath;
 /// Relay buffer budget per storage node (bytes).
 const RELAY_BUFFER_BYTES: usize = 8 << 20;
 
+/// Router/cluster observability under `espresso.router.`: end-to-end
+/// request latency and count through the routed API, plus failovers
+/// triggered by node crashes.
+#[derive(Debug, Clone)]
+struct EspressoMetrics {
+    request_latency: Histo,
+    requests: Counter,
+    failovers: Counter,
+}
+
+impl EspressoMetrics {
+    fn new(registry: &Arc<MetricsRegistry>) -> Self {
+        let scope = registry.scope("espresso.router");
+        EspressoMetrics {
+            request_latency: scope.histogram("request.latency_ns"),
+            requests: scope.counter("requests"),
+            failovers: scope.counter("failovers"),
+        }
+    }
+}
+
 /// A complete in-process Espresso cluster.
 pub struct EspressoCluster {
     zk: ZooKeeper,
@@ -36,6 +58,8 @@ pub struct EspressoCluster {
     relays: RwLock<HashMap<NodeId, Arc<Relay>>>,
     participants: Mutex<HashMap<NodeId, Participant>>,
     schemas: RwLock<HashMap<String, SchemaHandle>>,
+    registry: Arc<MetricsRegistry>,
+    metrics: EspressoMetrics,
 }
 
 impl std::fmt::Debug for EspressoCluster {
@@ -53,6 +77,7 @@ impl EspressoCluster {
     pub fn new(node_count: u16) -> Result<Arc<Self>, EspressoError> {
         let zk = ZooKeeper::new();
         let controller = Controller::new(&zk, "espresso")?;
+        let registry = MetricsRegistry::new();
         let cluster = Arc::new(EspressoCluster {
             zk,
             controller,
@@ -60,6 +85,8 @@ impl EspressoCluster {
             relays: RwLock::new(HashMap::new()),
             participants: Mutex::new(HashMap::new()),
             schemas: RwLock::new(HashMap::new()),
+            metrics: EspressoMetrics::new(&registry),
+            registry,
         });
         for i in 0..node_count {
             cluster.attach_node(NodeId(i))?;
@@ -69,9 +96,10 @@ impl EspressoCluster {
 
     /// Creates a storage node + relay and joins it to the cluster.
     fn attach_node(self: &Arc<Self>, id: NodeId) -> Result<(), EspressoError> {
-        let relay = Arc::new(Relay::new(
+        let relay = Arc::new(Relay::with_metrics(
             format!("espresso-node-{}", id.0),
             RELAY_BUFFER_BYTES,
+            &self.registry,
         ));
         let node = Arc::new(StorageNode::new(id, relay.clone()));
         // Existing databases get provisioned on the newcomer.
@@ -204,6 +232,22 @@ impl EspressoCluster {
         &self.controller
     }
 
+    /// The metrics registry this cluster reports into (names under
+    /// `espresso.` plus the per-node relays under `databus.relay.`).
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.registry
+    }
+
+    /// Times and counts one routed request.
+    fn observe<T>(
+        &self,
+        op: impl FnOnce() -> Result<T, EspressoError>,
+    ) -> Result<T, EspressoError> {
+        self.metrics.requests.inc();
+        let _timer = self.metrics.request_latency.start_timer();
+        op()
+    }
+
     /// Routes a resource id to `(partition, master node)`.
     pub fn route(&self, db: &str, resource_id: &str) -> Result<(u32, NodeId), EspressoError> {
         let schema = self.schema(db)?;
@@ -233,8 +277,10 @@ impl EspressoCluster {
         key: RowKey,
         record: &Record,
     ) -> Result<u64, EspressoError> {
-        let node = self.master_node(db, Self::resource_of(&key)?)?;
-        node.put_document(db, table, key, record)
+        self.observe(|| {
+            let node = self.master_node(db, Self::resource_of(&key)?)?;
+            node.put_document(db, table, key, record)
+        })
     }
 
     /// Conditional PUT (If-Match etag; 0 = If-None-Match).
@@ -246,8 +292,10 @@ impl EspressoCluster {
         expected_etag: u64,
         record: &Record,
     ) -> Result<u64, EspressoError> {
-        let node = self.master_node(db, Self::resource_of(&key)?)?;
-        node.put_document_if_match(db, table, key, expected_etag, record)
+        self.observe(|| {
+            let node = self.master_node(db, Self::resource_of(&key)?)?;
+            node.put_document_if_match(db, table, key, expected_etag, record)
+        })
     }
 
     /// Transactional multi-table POST (wildcard-table URI in the paper).
@@ -256,11 +304,13 @@ impl EspressoCluster {
         db: &str,
         documents: Vec<(String, RowKey, Record)>,
     ) -> Result<u64, EspressoError> {
-        let first = documents
-            .first()
-            .ok_or_else(|| EspressoError::BadRequest("empty transaction".into()))?;
-        let node = self.master_node(db, Self::resource_of(&first.1)?)?;
-        node.put_transactional(db, documents)
+        self.observe(|| {
+            let first = documents
+                .first()
+                .ok_or_else(|| EspressoError::BadRequest("empty transaction".into()))?;
+            let node = self.master_node(db, Self::resource_of(&first.1)?)?;
+            node.put_transactional(db, documents)
+        })
     }
 
     /// GET a document (routed to the master — timeline-consistent reads).
@@ -270,8 +320,10 @@ impl EspressoCluster {
         table: &str,
         key: &RowKey,
     ) -> Result<Option<(Record, Row)>, EspressoError> {
-        let node = self.master_node(db, Self::resource_of(key)?)?;
-        node.get_document(db, table, key)
+        self.observe(|| {
+            let node = self.master_node(db, Self::resource_of(key)?)?;
+            node.get_document(db, table, key)
+        })
     }
 
     /// GET a collection resource.
@@ -281,14 +333,18 @@ impl EspressoCluster {
         table: &str,
         prefix: &RowKey,
     ) -> Result<Vec<(RowKey, Record)>, EspressoError> {
-        let node = self.master_node(db, Self::resource_of(prefix)?)?;
-        node.get_collection(db, table, prefix)
+        self.observe(|| {
+            let node = self.master_node(db, Self::resource_of(prefix)?)?;
+            node.get_collection(db, table, prefix)
+        })
     }
 
     /// DELETE a document.
     pub fn delete(&self, db: &str, table: &str, key: RowKey) -> Result<(), EspressoError> {
-        let node = self.master_node(db, Self::resource_of(&key)?)?;
-        node.delete_document(db, table, key)
+        self.observe(|| {
+            let node = self.master_node(db, Self::resource_of(&key)?)?;
+            node.delete_document(db, table, key)
+        })
     }
 
     /// Secondary-index query over a collection resource (URI
@@ -379,6 +435,7 @@ impl EspressoCluster {
         self.zk.expire(session);
         self.participants.lock().remove(&id);
         self.controller.rebalance_all()?;
+        self.metrics.failovers.inc();
         Ok(())
     }
 

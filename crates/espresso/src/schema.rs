@@ -10,12 +10,12 @@
 //! (§IV.A)
 
 use li_commons::schema::{RecordSchema, SchemaError, SchemaRegistry, SchemaVersion};
-use serde::{Deserialize, Serialize};
+use serde::{get_field, object, DeError, Deserialize, JsonValue, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
 
 /// How a database's documents spread over partitions.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PartitionStrategy {
     /// `hash(resource_id) % num_partitions` — "at present, the only
     /// supported partitioning strategies are hash-based partitioning or
@@ -25,8 +25,30 @@ pub enum PartitionStrategy {
     Unpartitioned,
 }
 
+/// JSON form (serde's externally-tagged unit variants): a bare string
+/// with the variant name.
+impl Serialize for PartitionStrategy {
+    fn to_json_value(&self) -> JsonValue {
+        let tag = match self {
+            PartitionStrategy::Hash => "Hash",
+            PartitionStrategy::Unpartitioned => "Unpartitioned",
+        };
+        JsonValue::Str(tag.into())
+    }
+}
+
+impl Deserialize for PartitionStrategy {
+    fn from_json_value(value: &JsonValue) -> Result<Self, DeError> {
+        match value.as_str() {
+            Some("Hash") => Ok(PartitionStrategy::Hash),
+            Some("Unpartitioned") => Ok(PartitionStrategy::Unpartitioned),
+            _ => Err(DeError::expected("partition strategy", value)),
+        }
+    }
+}
+
 /// Schema of one table: how documents are keyed beneath the resource id.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TableSchema {
     /// Table name (`Artist`, `Album`, `Song`).
     pub name: String,
@@ -34,6 +56,24 @@ pub struct TableSchema {
     /// the resource id: `["artist"]` for a singleton-resource table,
     /// `["artist", "album", "song"]` for nested collections.
     pub key_elements: Vec<String>,
+}
+
+impl Serialize for TableSchema {
+    fn to_json_value(&self) -> JsonValue {
+        object(vec![
+            ("name", self.name.to_json_value()),
+            ("key_elements", self.key_elements.to_json_value()),
+        ])
+    }
+}
+
+impl Deserialize for TableSchema {
+    fn from_json_value(value: &JsonValue) -> Result<Self, DeError> {
+        Ok(TableSchema {
+            name: get_field(value, "name")?,
+            key_elements: get_field(value, "key_elements")?,
+        })
+    }
 }
 
 impl TableSchema {

@@ -16,10 +16,11 @@
 //! publishes the resulting external view for routers.
 
 use parking_lot::Mutex;
-use serde::{Deserialize, Serialize};
+use serde::{get_field, object, DeError, Deserialize, JsonValue, Serialize};
 use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
 
+use li_commons::metrics::{Counter, MetricsRegistry};
 use li_commons::ring::NodeId;
 use li_zk::{CreateMode, Session, SessionId, WatchEvent, ZooKeeper};
 
@@ -30,10 +31,27 @@ use crate::model::{Assignment, HelixError, PartitionAssignment, ResourceConfig, 
 /// `Err` tells the controller the replica is not in the target state.
 pub type TransitionHandler = Arc<dyn Fn(&Transition) -> Result<(), String> + Send + Sync>;
 
-#[derive(Serialize, Deserialize)]
 struct ResourceMeta {
     config: ResourceConfig,
     preference_lists: Vec<PartitionAssignment>,
+}
+
+impl Serialize for ResourceMeta {
+    fn to_json_value(&self) -> JsonValue {
+        object(vec![
+            ("config", self.config.to_json_value()),
+            ("preference_lists", self.preference_lists.to_json_value()),
+        ])
+    }
+}
+
+impl Deserialize for ResourceMeta {
+    fn from_json_value(value: &JsonValue) -> Result<Self, DeError> {
+        Ok(ResourceMeta {
+            config: get_field(value, "config")?,
+            preference_lists: get_field(value, "preference_lists")?,
+        })
+    }
 }
 
 /// A node participating in a managed cluster. Its liveness is an ephemeral
@@ -78,17 +96,46 @@ impl Participant {
     }
 }
 
+/// Controller observability under `helix.<cluster>`: state transitions
+/// fired on participants and rebalance passes run.
+struct ControllerMetrics {
+    transitions_fired: Counter,
+    rebalances: Counter,
+}
+
+impl ControllerMetrics {
+    fn new(registry: &Arc<MetricsRegistry>, cluster: &str) -> Self {
+        let scope = registry.scope(format!("helix.{cluster}"));
+        ControllerMetrics {
+            transitions_fired: scope.counter("transitions_fired"),
+            rebalances: scope.counter("rebalances"),
+        }
+    }
+}
+
 /// The cluster controller.
 pub struct Controller {
     zk: ZooKeeper,
     session: Session,
     cluster: String,
     handlers: Mutex<HashMap<NodeId, TransitionHandler>>,
+    registry: Arc<MetricsRegistry>,
+    metrics: ControllerMetrics,
 }
 
 impl Controller {
     /// Creates a controller for `cluster`, laying out the base znodes.
     pub fn new(zk: &ZooKeeper, cluster: &str) -> Result<Self, HelixError> {
+        Self::with_metrics(zk, cluster, &MetricsRegistry::new())
+    }
+
+    /// Creates a controller that reports into a shared metrics registry
+    /// (under `helix.<cluster>`).
+    pub fn with_metrics(
+        zk: &ZooKeeper,
+        cluster: &str,
+        registry: &Arc<MetricsRegistry>,
+    ) -> Result<Self, HelixError> {
         let session = zk.connect();
         for dir in ["live", "resources", "externalview"] {
             match session.create_recursive(
@@ -105,7 +152,14 @@ impl Controller {
             session,
             cluster: cluster.to_string(),
             handlers: Mutex::new(HashMap::new()),
+            registry: Arc::clone(registry),
+            metrics: ControllerMetrics::new(registry, cluster),
         })
+    }
+
+    /// The metrics registry this controller reports into.
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.registry
     }
 
     /// Registers the transition handler for `node`. In a networked
@@ -199,6 +253,7 @@ impl Controller {
         let meta: ResourceMeta = serde_json::from_slice(&data)
             .map_err(|e| HelixError::Coordination(e.to_string()))?;
 
+        self.metrics.rebalances.inc();
         let live = self.live_nodes()?;
         let current = self.external_view(resource)?;
         let target = best_possible_state(&meta.preference_lists, &live);
@@ -216,6 +271,7 @@ impl Controller {
             };
             match outcome {
                 Ok(()) => {
+                    self.metrics.transitions_fired.inc();
                     achieved.set_state(step.partition, step.node, step.to);
                     executed.push(step);
                 }

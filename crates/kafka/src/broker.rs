@@ -4,10 +4,34 @@ use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use li_commons::metrics::{Counter, Gauge, MetricsRegistry};
 use li_commons::sim::Clock;
 
 use crate::log::{LogConfig, PartitionLog};
 use crate::message::{KafkaError, Message, MessageSet};
+
+/// Per-broker observability under `kafka.broker<id>.`: messages and bytes
+/// through produce and fetch, plus one `log_end` gauge per hosted
+/// topic-partition (`kafka.topic.<topic>.<partition>.log_end`).
+#[derive(Debug, Clone)]
+struct BrokerMetrics {
+    produce_messages: Counter,
+    bytes_in: Counter,
+    fetch_messages: Counter,
+    bytes_out: Counter,
+}
+
+impl BrokerMetrics {
+    fn new(registry: &Arc<MetricsRegistry>, id: u16) -> Self {
+        let scope = registry.scope(format!("kafka.broker{id}"));
+        BrokerMetrics {
+            produce_messages: scope.counter("produce.messages"),
+            bytes_in: scope.counter("produce.bytes_in"),
+            fetch_messages: scope.counter("fetch.messages"),
+            bytes_out: scope.counter("fetch.bytes_out"),
+        }
+    }
+}
 
 /// A Kafka broker: "a topic is divided into multiple partitions and each
 /// broker stores one or more of those partitions" (§V.A). The broker holds
@@ -17,6 +41,9 @@ pub struct Broker {
     config: LogConfig,
     clock: Arc<dyn Clock>,
     logs: RwLock<HashMap<(String, u32), Arc<PartitionLog>>>,
+    registry: Arc<MetricsRegistry>,
+    metrics: BrokerMetrics,
+    log_end_gauges: RwLock<HashMap<(String, u32), Gauge>>,
 }
 
 impl std::fmt::Debug for Broker {
@@ -29,14 +56,43 @@ impl std::fmt::Debug for Broker {
 }
 
 impl Broker {
-    /// Creates a broker.
+    /// Creates a standalone broker reporting into a private metrics
+    /// registry; cluster-managed brokers share one via
+    /// [`Broker::with_metrics`].
     pub fn new(id: u16, config: LogConfig, clock: Arc<dyn Clock>) -> Self {
+        Self::with_metrics(id, config, clock, &MetricsRegistry::new())
+    }
+
+    /// Creates a broker reporting under `kafka.broker<id>.` in `registry`.
+    pub fn with_metrics(
+        id: u16,
+        config: LogConfig,
+        clock: Arc<dyn Clock>,
+        registry: &Arc<MetricsRegistry>,
+    ) -> Self {
         Broker {
             id,
             config,
             clock,
             logs: RwLock::new(HashMap::new()),
+            registry: Arc::clone(registry),
+            metrics: BrokerMetrics::new(registry, id),
+            log_end_gauges: RwLock::new(HashMap::new()),
         }
+    }
+
+    fn log_end_gauge(&self, topic: &str, partition: u32) -> Gauge {
+        if let Some(gauge) = self.log_end_gauges.read().get(&(topic.to_string(), partition)) {
+            return gauge.clone();
+        }
+        let gauge = self
+            .registry
+            .gauge(&format!("kafka.topic.{topic}.{partition}.log_end"));
+        self.log_end_gauges
+            .write()
+            .entry((topic.to_string(), partition))
+            .or_insert(gauge)
+            .clone()
     }
 
     /// This broker's id.
@@ -70,7 +126,12 @@ impl Broker {
         partition: u32,
         message: &Message,
     ) -> Result<u64, KafkaError> {
-        Ok(self.log(topic, partition)?.append(message))
+        let log = self.log(topic, partition)?;
+        let offset = log.append(message);
+        self.metrics.produce_messages.inc();
+        self.metrics.bytes_in.add(message.payload.len() as u64);
+        self.log_end_gauge(topic, partition).set(log.log_end() as i64);
+        Ok(offset)
     }
 
     /// Appends every message of a set; returns the first offset.
@@ -85,7 +146,10 @@ impl Broker {
         for message in &set.messages {
             let offset = log.append(message);
             first.get_or_insert(offset);
+            self.metrics.produce_messages.inc();
+            self.metrics.bytes_in.add(message.payload.len() as u64);
         }
+        self.log_end_gauge(topic, partition).set(log.log_end() as i64);
         Ok(first.unwrap_or_else(|| log.log_end()))
     }
 
@@ -98,7 +162,11 @@ impl Broker {
         offset: u64,
         max_bytes: usize,
     ) -> Result<(Vec<(u64, Message)>, u64), KafkaError> {
-        self.log(topic, partition)?.read(offset, max_bytes)
+        let (messages, next) = self.log(topic, partition)?.read(offset, max_bytes)?;
+        self.metrics.fetch_messages.add(messages.len() as u64);
+        let bytes: usize = messages.iter().map(|(_, m)| m.payload.len()).sum();
+        self.metrics.bytes_out.add(bytes as u64);
+        Ok((messages, next))
     }
 
     /// Replaces a partition's log with a fresh one (replication layer:

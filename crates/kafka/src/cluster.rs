@@ -4,6 +4,7 @@ use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use li_commons::metrics::MetricsRegistry;
 use li_commons::sim::{Clock, RealClock};
 use li_zk::{CreateMode, Session, ZooKeeper};
 
@@ -23,6 +24,7 @@ pub struct KafkaCluster {
     brokers: Vec<Arc<Broker>>,
     /// topic -> partition -> broker index.
     metadata: RwLock<HashMap<String, Vec<usize>>>,
+    metrics: Arc<MetricsRegistry>,
 }
 
 impl std::fmt::Debug for KafkaCluster {
@@ -47,13 +49,27 @@ impl KafkaCluster {
         config: LogConfig,
         clock: Arc<dyn Clock>,
     ) -> Result<Arc<Self>, KafkaError> {
-        let zk = ZooKeeper::new();
+        Self::with_metrics(broker_count, config, clock, &MetricsRegistry::new())
+    }
+
+    /// Fully-injected constructor that reports into a shared metrics
+    /// registry (names under `kafka.`; the embedded coordination service
+    /// reports under `zk.`).
+    pub fn with_metrics(
+        broker_count: u16,
+        config: LogConfig,
+        clock: Arc<dyn Clock>,
+        registry: &Arc<MetricsRegistry>,
+    ) -> Result<Arc<Self>, KafkaError> {
+        let zk = ZooKeeper::with_metrics(registry);
         let session = zk.connect();
         session.create_recursive("/brokers/ids", Vec::new(), CreateMode::Persistent)?;
         session.create_recursive("/brokers/topics", Vec::new(), CreateMode::Persistent)?;
+        let metrics = Arc::clone(registry);
         let brokers: Vec<Arc<Broker>> = (0..broker_count)
             .map(|id| {
-                let broker = Arc::new(Broker::new(id, config.clone(), clock.clone()));
+                let broker =
+                    Arc::new(Broker::with_metrics(id, config.clone(), clock.clone(), &metrics));
                 let _ = session.create(
                     &format!("/brokers/ids/{id}"),
                     Vec::new(),
@@ -68,7 +84,14 @@ impl KafkaCluster {
             clock,
             brokers,
             metadata: RwLock::new(HashMap::new()),
+            metrics,
         }))
+    }
+
+    /// The metrics registry every broker, producer, and consumer of this
+    /// cluster reports into (names under `kafka.`).
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
     }
 
     /// The coordination service (consumer groups connect here).

@@ -7,6 +7,7 @@
 //! messages to consume, the iterator blocks until new messages are
 //! published."
 
+use li_commons::metrics::Gauge;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -21,6 +22,10 @@ pub struct SimpleConsumer {
     partition: u32,
     offset: u64,
     max_bytes: usize,
+    /// First-class consumer lag (`kafka.consumer.<topic>.<partition>.lag`):
+    /// log-end offset minus this consumer's position, refreshed on every
+    /// poll/seek.
+    lag: Gauge,
 }
 
 impl SimpleConsumer {
@@ -32,13 +37,25 @@ impl SimpleConsumer {
     ) -> Result<Self, KafkaError> {
         // Validate the topic-partition exists up front.
         cluster.broker_for(topic, partition)?;
+        let lag = cluster
+            .metrics()
+            .gauge(&format!("kafka.consumer.{topic}.{partition}.lag"));
         Ok(SimpleConsumer {
             cluster,
             topic: topic.to_string(),
             partition,
             offset: 0,
             max_bytes: 512 * 1024,
+            lag,
         })
+    }
+
+    fn refresh_lag(&self) {
+        if let Ok(broker) = self.cluster.broker_for(&self.topic, self.partition) {
+            if let Ok(log) = broker.log(&self.topic, self.partition) {
+                self.lag.set(log.log_end().saturating_sub(self.offset) as i64);
+            }
+        }
     }
 
     /// Builder: per-fetch byte budget (the paper's "maximum number of
@@ -58,6 +75,7 @@ impl SimpleConsumer {
     /// to an old offset and re-consume data").
     pub fn seek(&mut self, offset: u64) {
         self.offset = offset;
+        self.refresh_lag();
     }
 
     /// One pull: fetches from the current offset, unwraps compressed
@@ -73,6 +91,7 @@ impl SimpleConsumer {
             }
         }
         self.offset = next;
+        self.refresh_lag();
         Ok(out)
     }
 

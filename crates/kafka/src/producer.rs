@@ -9,6 +9,7 @@
 use bytes::Bytes;
 use li_commons::compress::Codec;
 use li_commons::fnv::fnv1a;
+use li_commons::metrics::{Counter, Histo};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -45,6 +46,26 @@ struct Batch {
     bytes: usize,
 }
 
+/// Producer-side observability under `kafka.producer.`: publish request
+/// count, wire bytes shipped, and the per-request batch-size distribution.
+#[derive(Debug, Clone)]
+struct ProducerMetrics {
+    requests: Counter,
+    wire_bytes: Counter,
+    batch_messages: Histo,
+}
+
+impl ProducerMetrics {
+    fn new(cluster: &KafkaCluster) -> Self {
+        let scope = cluster.metrics().scope("kafka.producer");
+        ProducerMetrics {
+            requests: scope.counter("requests"),
+            wire_bytes: scope.counter("wire_bytes"),
+            batch_messages: scope.histogram("batch_messages"),
+        }
+    }
+}
+
 /// A batching producer bound to one cluster.
 pub struct Producer {
     cluster: Arc<KafkaCluster>,
@@ -54,12 +75,14 @@ pub struct Producer {
     buffers: Mutex<HashMap<(String, u32), Batch>>,
     round_robin: Mutex<HashMap<String, u32>>,
     stats: Mutex<ProducerStats>,
+    metrics: ProducerMetrics,
 }
 
 impl Producer {
     /// Creates a producer with no compression and a batch size of 1
     /// (synchronous feel; builders adjust).
     pub fn new(cluster: Arc<KafkaCluster>) -> Self {
+        let metrics = ProducerMetrics::new(&cluster);
         Producer {
             cluster,
             partitioner: Partitioner::RoundRobin,
@@ -68,6 +91,7 @@ impl Producer {
             buffers: Mutex::new(HashMap::new()),
             round_robin: Mutex::new(HashMap::new()),
             stats: Mutex::new(ProducerStats::default()),
+            metrics,
         }
     }
 
@@ -157,6 +181,7 @@ impl Producer {
                 _ => return Ok(()),
             }
         };
+        self.metrics.batch_messages.record(batch.payloads.len() as u64);
         let set = MessageSet::from_payloads(batch.payloads);
         let broker = self.cluster.broker_for(topic, partition)?;
         let wire_bytes = match self.codec {
@@ -175,6 +200,8 @@ impl Producer {
         let mut stats = self.stats.lock();
         stats.wire_bytes += wire_bytes as u64;
         stats.requests += 1;
+        self.metrics.wire_bytes.add(wire_bytes as u64);
+        self.metrics.requests.inc();
         Ok(())
     }
 

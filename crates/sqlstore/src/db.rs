@@ -6,6 +6,7 @@ use std::fmt;
 use std::sync::Arc;
 
 use bytes::Bytes;
+use li_commons::metrics::{Counter, Gauge, MetricsRegistry};
 use li_commons::sim::{Clock, RealClock};
 
 use crate::binlog::{Binlog, BinlogEntry};
@@ -111,6 +112,23 @@ struct DbState {
     applied_scn: Scn,
 }
 
+/// Storage-node observability under `sqlstore.db.<name>`: binlog commits
+/// and the newest committed SCN.
+struct DbMetrics {
+    commits: Counter,
+    last_scn: Gauge,
+}
+
+impl DbMetrics {
+    fn new(registry: &Arc<MetricsRegistry>, name: &str) -> Self {
+        let scope = registry.scope(format!("sqlstore.db.{name}"));
+        DbMetrics {
+            commits: scope.counter("commits"),
+            last_scn: scope.gauge("last_scn"),
+        }
+    }
+}
+
 /// A database instance — the analog of one MySQL server (or the Oracle
 /// primary). Thread-safe; share via `Arc`.
 pub struct Database {
@@ -119,6 +137,8 @@ pub struct Database {
     triggers: Mutex<Vec<TriggerFn>>,
     shipper: Mutex<Option<Arc<dyn Shipper>>>,
     clock: Arc<dyn Clock>,
+    registry: Arc<MetricsRegistry>,
+    metrics: DbMetrics,
 }
 
 impl fmt::Debug for Database {
@@ -140,8 +160,20 @@ impl Database {
 
     /// Creates a database with an injected clock (deterministic tests).
     pub fn with_clock(name: impl Into<String>, clock: Arc<dyn Clock>) -> Self {
+        Self::with_metrics(name, clock, &MetricsRegistry::new())
+    }
+
+    /// Creates a database that reports into a shared metrics registry
+    /// (under `sqlstore.db.<name>`).
+    pub fn with_metrics(
+        name: impl Into<String>,
+        clock: Arc<dyn Clock>,
+        registry: &Arc<MetricsRegistry>,
+    ) -> Self {
+        let name = name.into();
+        let metrics = DbMetrics::new(registry, &name);
         Database {
-            name: name.into(),
+            name,
             state: Mutex::new(DbState {
                 tables: HashMap::new(),
                 binlog: Binlog::new(),
@@ -150,7 +182,14 @@ impl Database {
             triggers: Mutex::new(Vec::new()),
             shipper: Mutex::new(None),
             clock,
+            registry: Arc::clone(registry),
+            metrics,
         }
+    }
+
+    /// The metrics registry this database reports into.
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.registry
     }
 
     /// The database name.
@@ -262,6 +301,8 @@ impl Database {
             entry
         };
 
+        self.metrics.commits.inc();
+        self.metrics.last_scn.set(entry.scn as i64);
         for trigger in self.triggers.lock().iter() {
             trigger(&entry);
         }

@@ -3,6 +3,7 @@
 use std::fmt;
 use std::sync::Arc;
 
+use li_commons::metrics::Gauge;
 use parking_lot::Mutex;
 
 use crate::binlog::BinlogEntry;
@@ -47,14 +48,27 @@ where
 pub struct ReplicaApplier {
     replica: Arc<Database>,
     pending: Mutex<Vec<BinlogEntry>>,
+    /// Highest master SCN ever offered (what the master has committed, as
+    /// far as this replica has heard).
+    newest_offered: Mutex<Scn>,
+    /// Replication ack lag (`sqlstore.replica.<name>.ack_lag_scns`): newest
+    /// offered master SCN minus the replica's applied SCN. Zero when caught
+    /// up; positive while entries are buffered out of order.
+    ack_lag: Gauge,
 }
 
 impl ReplicaApplier {
-    /// Wraps a replica database.
+    /// Wraps a replica database, reporting lag into the replica's own
+    /// metrics registry.
     pub fn new(replica: Arc<Database>) -> Self {
+        let ack_lag = replica
+            .metrics()
+            .gauge(&format!("sqlstore.replica.{}.ack_lag_scns", replica.name()));
         ReplicaApplier {
             replica,
             pending: Mutex::new(Vec::new()),
+            newest_offered: Mutex::new(0),
+            ack_lag,
         }
     }
 
@@ -66,6 +80,10 @@ impl ReplicaApplier {
     /// Offers one entry; applies it and any now-unblocked buffered entries.
     /// Returns the replica's applied SCN after the call.
     pub fn offer(&self, entry: BinlogEntry) -> Result<Scn, DbError> {
+        {
+            let mut newest = self.newest_offered.lock();
+            *newest = (*newest).max(entry.scn);
+        }
         let mut pending = self.pending.lock();
         pending.push(entry);
         pending.sort_by_key(|e| e.scn);
@@ -78,8 +96,11 @@ impl ReplicaApplier {
                 }
                 None => {
                     // Drop anything stale (already applied duplicates).
-                    pending.retain(|e| e.scn > self.replica.applied_scn());
-                    return Ok(self.replica.applied_scn());
+                    let applied = self.replica.applied_scn();
+                    pending.retain(|e| e.scn > applied);
+                    self.ack_lag
+                        .set(self.newest_offered.lock().saturating_sub(applied) as i64);
+                    return Ok(applied);
                 }
             }
         }

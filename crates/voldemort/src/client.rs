@@ -16,8 +16,10 @@
 
 use bytes::Bytes;
 use li_commons::clock::{resolve_siblings, VectorClock, Versioned};
+use li_commons::metrics::{Counter, Histo};
 use li_commons::ring::NodeId;
 use std::sync::Arc;
+use std::time::Instant;
 
 use crate::cluster::VoldemortCluster;
 use crate::error::VoldemortError;
@@ -55,11 +57,41 @@ pub enum RoutingMode {
     ServerSide(NodeId),
 }
 
+/// Client-side observability under the cluster registry's
+/// `voldemort.client.` prefix: end-to-end latency per API call, quorum
+/// outcomes, and writes that needed a hint to meet W (sloppy quorum).
+#[derive(Debug, Clone)]
+struct ClientMetrics {
+    get_latency: Histo,
+    put_latency: Histo,
+    gets_ok: Counter,
+    puts_ok: Counter,
+    quorum_read_failures: Counter,
+    quorum_write_failures: Counter,
+    hinted_writes: Counter,
+}
+
+impl ClientMetrics {
+    fn new(cluster: &VoldemortCluster) -> Self {
+        let scope = cluster.metrics().scope("voldemort.client");
+        ClientMetrics {
+            get_latency: scope.histogram("get.latency_ns"),
+            put_latency: scope.histogram("put.latency_ns"),
+            gets_ok: scope.counter("get.ok"),
+            puts_ok: scope.counter("put.ok"),
+            quorum_read_failures: scope.counter("quorum.read_failures"),
+            quorum_write_failures: scope.counter("quorum.write_failures"),
+            hinted_writes: scope.counter("put.hinted"),
+        }
+    }
+}
+
 /// A client bound to one store.
 pub struct StoreClient {
     cluster: Arc<VoldemortCluster>,
     store: StoreDef,
     routing: RoutingMode,
+    metrics: ClientMetrics,
 }
 
 impl StoreClient {
@@ -67,10 +99,12 @@ impl StoreClient {
     pub const CLIENT_NODE: NodeId = NodeId(u16::MAX);
 
     pub(crate) fn new(cluster: Arc<VoldemortCluster>, store: StoreDef) -> Self {
+        let metrics = ClientMetrics::new(&cluster);
         StoreClient {
             cluster,
             store,
             routing: RoutingMode::ClientSide,
+            metrics,
         }
     }
 
@@ -157,6 +191,24 @@ impl StoreClient {
     }
 
     fn get_internal(
+        &self,
+        key: &[u8],
+        transform: Option<&dyn Transform>,
+    ) -> Result<Vec<Versioned<Bytes>>, VoldemortError> {
+        let start = Instant::now();
+        let result = self.get_quorum(key, transform);
+        self.metrics.get_latency.record_duration(start.elapsed());
+        match &result {
+            Ok(_) => self.metrics.gets_ok.inc(),
+            Err(VoldemortError::InsufficientReads { .. }) => {
+                self.metrics.quorum_read_failures.inc();
+            }
+            Err(_) => {}
+        }
+        result
+    }
+
+    fn get_quorum(
         &self,
         key: &[u8],
         transform: Option<&dyn Transform>,
@@ -258,6 +310,26 @@ impl StoreClient {
         value: Bytes,
         transform: Option<&dyn Transform>,
     ) -> Result<VectorClock, VoldemortError> {
+        let start = Instant::now();
+        let result = self.put_quorum(key, clock, value, transform);
+        self.metrics.put_latency.record_duration(start.elapsed());
+        match &result {
+            Ok(_) => self.metrics.puts_ok.inc(),
+            Err(VoldemortError::InsufficientWrites { .. }) => {
+                self.metrics.quorum_write_failures.inc();
+            }
+            Err(_) => {}
+        }
+        result
+    }
+
+    fn put_quorum(
+        &self,
+        key: &[u8],
+        clock: &VectorClock,
+        value: Bytes,
+        transform: Option<&dyn Transform>,
+    ) -> Result<VectorClock, VoldemortError> {
         self.enter()?;
         let prefs = self.preference_list(key)?;
         // The first replica that actually accepts the write acts as the
@@ -352,6 +424,7 @@ impl StoreClient {
                 .is_ok()
                 {
                     acks += 1;
+                    self.metrics.hinted_writes.inc();
                 }
             }
         }

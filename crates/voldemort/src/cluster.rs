@@ -1,6 +1,7 @@
 //! The cluster runtime: nodes, topology, failure detection, admin service.
 
 use li_commons::failure::{FailureDetector, FailureDetectorConfig};
+use li_commons::metrics::MetricsRegistry;
 use li_commons::ring::{HashRing, NodeId, PartitionId, ZoneId};
 use li_commons::sim::{Clock, RealClock, SimNetwork};
 use parking_lot::RwLock;
@@ -27,6 +28,7 @@ pub struct VoldemortCluster {
     network: SimNetwork,
     detector: FailureDetector,
     clock: Arc<dyn Clock>,
+    metrics: Arc<MetricsRegistry>,
 }
 
 impl std::fmt::Debug for VoldemortCluster {
@@ -67,10 +69,22 @@ impl VoldemortCluster {
         network: SimNetwork,
         clock: Arc<dyn Clock>,
     ) -> Result<Arc<Self>, VoldemortError> {
+        Self::with_metrics(ring, network, clock, &MetricsRegistry::new())
+    }
+
+    /// Fully-injected constructor that reports into a shared metrics
+    /// registry (names under `voldemort.`).
+    pub fn with_metrics(
+        ring: HashRing,
+        network: SimNetwork,
+        clock: Arc<dyn Clock>,
+        registry: &Arc<MetricsRegistry>,
+    ) -> Result<Arc<Self>, VoldemortError> {
+        let metrics = Arc::clone(registry);
         let nodes = ring
             .nodes()
             .into_iter()
-            .map(|id| (id, Arc::new(VoldemortNode::new(id))))
+            .map(|id| (id, Arc::new(VoldemortNode::with_metrics(id, &metrics))))
             .collect();
         Ok(Arc::new(VoldemortCluster {
             nodes: RwLock::new(nodes),
@@ -79,7 +93,14 @@ impl VoldemortCluster {
             network,
             detector: FailureDetector::new(FailureDetectorConfig::default(), clock.clone()),
             clock,
+            metrics,
         }))
+    }
+
+    /// The metrics registry every node and client of this cluster reports
+    /// into (names under `voldemort.`).
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
     }
 
     /// The injectable network (crash/partition/drop controls).
@@ -318,7 +339,7 @@ impl VoldemortCluster {
             if nodes.contains_key(&id) {
                 return Err(VoldemortError::Admin(format!("{id} already in cluster")));
             }
-            let node = Arc::new(VoldemortNode::new(id));
+            let node = Arc::new(VoldemortNode::with_metrics(id, &self.metrics));
             for def in self.stores.read().values() {
                 let engine: Arc<dyn StorageEngine> = match def.engine {
                     EngineKind::Memory => Arc::new(MemoryEngine::new()),

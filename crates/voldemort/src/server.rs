@@ -3,6 +3,7 @@
 
 use bytes::Bytes;
 use li_commons::clock::{VectorClock, Versioned};
+use li_commons::metrics::{Counter, Gauge, MetricsRegistry};
 use li_commons::ring::NodeId;
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
@@ -10,6 +11,32 @@ use std::sync::Arc;
 
 use crate::engine::StorageEngine;
 use crate::error::VoldemortError;
+
+/// Per-node observability: request counts, bytes moved, hint queue depth,
+/// all under the `voldemort.node<id>.` prefix of the cluster registry.
+#[derive(Debug, Clone)]
+struct NodeMetrics {
+    gets: Counter,
+    puts: Counter,
+    deletes: Counter,
+    bytes_in: Counter,
+    bytes_out: Counter,
+    hints_pending: Gauge,
+}
+
+impl NodeMetrics {
+    fn new(registry: &Arc<MetricsRegistry>, id: NodeId) -> Self {
+        let scope = registry.scope(format!("voldemort.node{}", id.0));
+        NodeMetrics {
+            gets: scope.counter("get.count"),
+            puts: scope.counter("put.count"),
+            deletes: scope.counter("delete.count"),
+            bytes_in: scope.counter("bytes_in"),
+            bytes_out: scope.counter("bytes_out"),
+            hints_pending: scope.gauge("hints.pending"),
+        }
+    }
+}
 
 /// A write stored on a fallback node on behalf of an unreachable replica —
 /// the unit of hinted handoff. "Read repair detects inconsistencies during
@@ -31,6 +58,7 @@ pub struct VoldemortNode {
     id: NodeId,
     engines: RwLock<HashMap<String, Arc<dyn StorageEngine>>>,
     hints: Mutex<Vec<Hint>>,
+    metrics: NodeMetrics,
 }
 
 impl std::fmt::Debug for VoldemortNode {
@@ -44,12 +72,20 @@ impl std::fmt::Debug for VoldemortNode {
 }
 
 impl VoldemortNode {
-    /// Creates a node with no stores.
+    /// Creates a standalone node with no stores, reporting into a private
+    /// metrics registry. Cluster-managed nodes use
+    /// [`VoldemortNode::with_metrics`] so the whole cluster shares one.
     pub fn new(id: NodeId) -> Self {
+        Self::with_metrics(id, &MetricsRegistry::new())
+    }
+
+    /// Creates a node reporting under `voldemort.node<id>.` in `registry`.
+    pub fn with_metrics(id: NodeId, registry: &Arc<MetricsRegistry>) -> Self {
         VoldemortNode {
             id,
             engines: RwLock::new(HashMap::new()),
             hints: Mutex::new(Vec::new()),
+            metrics: NodeMetrics::new(registry, id),
         }
     }
 
@@ -93,7 +129,11 @@ impl VoldemortNode {
 
     /// Server-side get.
     pub fn get(&self, store: &str, key: &[u8]) -> Result<Vec<Versioned<Bytes>>, VoldemortError> {
-        self.engine(store)?.get(key)
+        self.metrics.gets.inc();
+        let versions = self.engine(store)?.get(key)?;
+        let bytes: usize = versions.iter().map(|v| v.value.len()).sum();
+        self.metrics.bytes_out.add(bytes as u64);
+        Ok(versions)
     }
 
     /// Server-side put (vector-clock checked).
@@ -103,6 +143,10 @@ impl VoldemortNode {
         key: &[u8],
         value: Versioned<Bytes>,
     ) -> Result<(), VoldemortError> {
+        self.metrics.puts.inc();
+        self.metrics
+            .bytes_in
+            .add((key.len() + value.value.len()) as u64);
         self.engine(store)?.put(key, value)
     }
 
@@ -123,12 +167,14 @@ impl VoldemortNode {
         key: &[u8],
         clock: &VectorClock,
     ) -> Result<bool, VoldemortError> {
+        self.metrics.deletes.inc();
         self.engine(store)?.delete(key, clock)
     }
 
     /// Stores a hint destined for another replica.
     pub fn store_hint(&self, hint: Hint) {
         self.hints.lock().push(hint);
+        self.metrics.hints_pending.add(1);
     }
 
     /// Drains the hints whose target is `target` (handoff replay).
@@ -137,6 +183,7 @@ impl VoldemortNode {
         let (matched, rest): (Vec<Hint>, Vec<Hint>) =
             hints.drain(..).partition(|h| h.target == target);
         *hints = rest;
+        self.metrics.hints_pending.sub(matched.len() as i64);
         matched
     }
 

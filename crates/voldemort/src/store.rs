@@ -1,9 +1,9 @@
 //! Store definitions — the per-table configuration of Figure II.1.
 
-use serde::{Deserialize, Serialize};
+use serde::{get_field, object, DeError, Deserialize, JsonValue, Serialize};
 
 /// Which storage engine backs a store.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EngineKind {
     /// Volatile in-memory engine (tests, caches).
     Memory,
@@ -17,7 +17,7 @@ pub enum EngineKind {
 /// "Every store has its set of configurations, including — replication
 /// factor (N), required number of nodes which should participate in read
 /// (R) and writes (W) and finally a schema."
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StoreDef {
     /// Store name.
     pub name: String,
@@ -31,6 +31,56 @@ pub struct StoreDef {
     pub zones_required: usize,
     /// Backing engine.
     pub engine: EngineKind,
+}
+
+/// JSON form (serde's externally-tagged unit variants): a bare string
+/// with the variant name.
+impl Serialize for EngineKind {
+    fn to_json_value(&self) -> JsonValue {
+        let tag = match self {
+            EngineKind::Memory => "Memory",
+            EngineKind::BdbLike => "BdbLike",
+            EngineKind::ReadOnly => "ReadOnly",
+        };
+        JsonValue::Str(tag.into())
+    }
+}
+
+impl Deserialize for EngineKind {
+    fn from_json_value(value: &JsonValue) -> Result<Self, DeError> {
+        match value.as_str() {
+            Some("Memory") => Ok(EngineKind::Memory),
+            Some("BdbLike") => Ok(EngineKind::BdbLike),
+            Some("ReadOnly") => Ok(EngineKind::ReadOnly),
+            _ => Err(DeError::expected("engine kind", value)),
+        }
+    }
+}
+
+impl Serialize for StoreDef {
+    fn to_json_value(&self) -> JsonValue {
+        object(vec![
+            ("name", self.name.to_json_value()),
+            ("replication", self.replication.to_json_value()),
+            ("required_reads", self.required_reads.to_json_value()),
+            ("required_writes", self.required_writes.to_json_value()),
+            ("zones_required", self.zones_required.to_json_value()),
+            ("engine", self.engine.to_json_value()),
+        ])
+    }
+}
+
+impl Deserialize for StoreDef {
+    fn from_json_value(value: &JsonValue) -> Result<Self, DeError> {
+        Ok(StoreDef {
+            name: get_field(value, "name")?,
+            replication: get_field(value, "replication")?,
+            required_reads: get_field(value, "required_reads")?,
+            required_writes: get_field(value, "required_writes")?,
+            zones_required: get_field(value, "zones_required")?,
+            engine: get_field(value, "engine")?,
+        })
+    }
 }
 
 impl StoreDef {

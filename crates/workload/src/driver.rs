@@ -1,6 +1,7 @@
 //! Mixed read/write operation streams and latency recording.
 
 use li_commons::hist::Histogram;
+use li_commons::metrics::MetricsScope;
 use rand::Rng;
 
 use crate::keys::KeyDistribution;
@@ -92,6 +93,15 @@ impl LatencyReport {
         }
     }
 
+    /// Publishes the recorded distributions into a metrics scope as
+    /// `<scope>.read.latency_ns` and `<scope>.write.latency_ns`, so a
+    /// driver run shows up in the same snapshot as the system's own
+    /// server-side metrics.
+    pub fn publish(&self, scope: &MetricsScope) {
+        scope.histogram("read.latency_ns").merge_from(&self.reads);
+        scope.histogram("write.latency_ns").merge_from(&self.writes);
+    }
+
     /// Two-line summary in the paper's terms.
     pub fn summary(&self) -> String {
         format!(
@@ -134,5 +144,21 @@ mod tests {
         assert_eq!(report.reads.count(), 1);
         assert_eq!(report.writes.count(), 1);
         assert!(report.summary().contains("reads:"));
+    }
+
+    #[test]
+    fn publish_lands_in_registry_snapshot() {
+        use li_commons::metrics::MetricsRegistry;
+        let mut report = LatencyReport::new();
+        report.record(&Operation::Read(vec![]), 1_000_000);
+        report.record(&Operation::Read(vec![]), 2_000_000);
+        report.record(&Operation::Write(vec![], 10), 3_000_000);
+        let registry = MetricsRegistry::new();
+        report.publish(&registry.scope("workload"));
+        let snapshot = registry.snapshot();
+        let reads = snapshot.histogram("workload.read.latency_ns").unwrap();
+        assert_eq!(reads.count, 2);
+        let writes = snapshot.histogram("workload.write.latency_ns").unwrap();
+        assert_eq!(writes.count, 1);
     }
 }

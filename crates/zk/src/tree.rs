@@ -1,6 +1,7 @@
 //! The znode tree, sessions, and watch plumbing.
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
+use li_commons::metrics::{Counter, Gauge, MetricsRegistry};
 use parking_lot::Mutex;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt;
@@ -133,16 +134,41 @@ struct Watches {
     children: HashMap<String, Vec<Sender<WatchEvent>>>,
 }
 
+/// Coordination-service observability under `zk.`: live znode count
+/// (including the root), live session count, and watch events delivered.
+struct ZkMetrics {
+    znodes: Gauge,
+    sessions: Gauge,
+    watch_events_fired: Counter,
+}
+
+impl ZkMetrics {
+    fn new(registry: &Arc<MetricsRegistry>) -> Self {
+        let scope = registry.scope("zk");
+        ZkMetrics {
+            znodes: scope.gauge("znodes"),
+            sessions: scope.gauge("sessions"),
+            watch_events_fired: scope.counter("watch_events_fired"),
+        }
+    }
+}
+
 struct State {
     nodes: BTreeMap<String, Znode>,
     watches: Watches,
     sessions: BTreeSet<SessionId>,
     next_session: u64,
     zxid: u64,
+    metrics: ZkMetrics,
 }
 
 impl State {
-    fn fire(watchers: &mut HashMap<String, Vec<Sender<WatchEvent>>>, path: &str, kind: WatchEventKind) {
+    fn fire(
+        watchers: &mut HashMap<String, Vec<Sender<WatchEvent>>>,
+        path: &str,
+        kind: WatchEventKind,
+    ) -> u64 {
+        let mut fired = 0;
         if let Some(list) = watchers.remove(path) {
             for sender in list {
                 // Receiver may be gone; one-shot send, ignore disconnects.
@@ -150,26 +176,31 @@ impl State {
                     path: path.to_string(),
                     kind,
                 });
+                fired += 1;
             }
         }
+        fired
     }
 
     fn fire_node_event(&mut self, path: &str, kind: WatchEventKind) {
-        Self::fire(&mut self.watches.data, path, kind);
-        Self::fire(&mut self.watches.exists, path, kind);
+        let fired = Self::fire(&mut self.watches.data, path, kind)
+            + Self::fire(&mut self.watches.exists, path, kind);
+        self.metrics.watch_events_fired.add(fired);
     }
 
     fn fire_children_event(&mut self, parent: &str) {
-        Self::fire(
+        let fired = Self::fire(
             &mut self.watches.children,
             parent,
             WatchEventKind::NodeChildrenChanged,
         );
+        self.metrics.watch_events_fired.add(fired);
     }
 
     fn delete_node(&mut self, path: &str) {
         self.zxid += 1;
         self.nodes.remove(path);
+        self.metrics.znodes.set(self.nodes.len() as i64);
         if let Some(parent) = parent_of(path) {
             let name = path.rsplit('/').next().unwrap_or_default().to_string();
             if let Some(parent_node) = self.nodes.get_mut(&parent) {
@@ -211,6 +242,7 @@ fn validate_path(path: &str) -> Result<(), ZkError> {
 #[derive(Clone)]
 pub struct ZooKeeper {
     state: Arc<Mutex<State>>,
+    registry: Arc<MetricsRegistry>,
 }
 
 impl Default for ZooKeeper {
@@ -222,6 +254,12 @@ impl Default for ZooKeeper {
 impl ZooKeeper {
     /// Creates a service with an empty tree (just the root `/`).
     pub fn new() -> Self {
+        Self::with_metrics(&MetricsRegistry::new())
+    }
+
+    /// Creates a service that reports into a shared metrics registry
+    /// (under `zk.`).
+    pub fn with_metrics(registry: &Arc<MetricsRegistry>) -> Self {
         let mut nodes = BTreeMap::new();
         nodes.insert(
             "/".to_string(),
@@ -234,6 +272,8 @@ impl ZooKeeper {
                 cseq: 0,
             },
         );
+        let metrics = ZkMetrics::new(registry);
+        metrics.znodes.set(nodes.len() as i64);
         ZooKeeper {
             state: Arc::new(Mutex::new(State {
                 nodes,
@@ -241,8 +281,15 @@ impl ZooKeeper {
                 sessions: BTreeSet::new(),
                 next_session: 1,
                 zxid: 0,
+                metrics,
             })),
+            registry: Arc::clone(registry),
         }
+    }
+
+    /// The metrics registry this service reports into.
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.registry
     }
 
     /// Opens a new session.
@@ -251,6 +298,7 @@ impl ZooKeeper {
         let id = SessionId(state.next_session);
         state.next_session += 1;
         state.sessions.insert(id);
+        state.metrics.sessions.set(state.sessions.len() as i64);
         Session {
             zk: self.clone(),
             id,
@@ -263,6 +311,7 @@ impl ZooKeeper {
     pub fn expire(&self, session: SessionId) {
         let mut state = self.state.lock();
         state.sessions.remove(&session);
+        state.metrics.sessions.set(state.sessions.len() as i64);
         let doomed: Vec<String> = state
             .nodes
             .iter()
@@ -361,6 +410,8 @@ impl Session {
             .expect("checked")
             .children
             .insert(name);
+        let live_znodes = state.nodes.len() as i64;
+        state.metrics.znodes.set(live_znodes);
         state.fire_node_event(&actual, WatchEventKind::NodeCreated);
         state.fire_children_event(&parent);
         Ok(actual)

@@ -95,6 +95,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert_eq!(loaded, 50);
     assert!(*replica.rows_seen.lock() > 0);
     let _ = ACTIVITY_TOPIC;
-    println!("\nsite_architecture OK");
+
+    // -- 6. The run's observability: one snapshot over every tier --------
+    println!("\n== per-run metrics (site-wide registry) ==\n");
+    println!("{}", platform.metrics_snapshot().to_text_table());
+    println!("site_architecture OK");
     Ok(())
 }

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# The full local gate: everything CI runs, in order. A clean exit here
+# means the tree is shippable.
+#
+#   ./scripts/ci.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release =="
+cargo build --release
+
+echo "== cargo test -q (root package: examples + integration tests) =="
+cargo test -q
+
+echo "== cargo test -q --workspace =="
+cargo test -q --workspace
+
+echo "== cargo clippy --workspace --all-targets -- -D warnings =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "ci.sh: all green"

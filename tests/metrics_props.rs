@@ -1,0 +1,83 @@
+//! Property tests for the metrics snapshot JSON wire format: any mix of
+//! metric names and values must survive `to_json` → `from_json` exactly.
+//! (Floats are generated finite — the JSON encoder maps non-finite means
+//! to `null` by design, which is a lossy export, not a round-trip.)
+
+use li_commons::metrics::{HistogramSummary, MetricValue, MetricsSnapshot};
+use proptest::prelude::*;
+
+/// One arbitrary metric reading. Kind is picked by `kind`; the remaining
+/// draws feed whichever variant is chosen.
+#[allow(clippy::too_many_arguments)]
+fn reading(
+    kind: u8,
+    a: u64,
+    b: i64,
+    count: u64,
+    whole: u32,
+    thousandths: u32,
+    lo: u64,
+    hi: u64,
+) -> MetricValue {
+    match kind % 3 {
+        0 => MetricValue::Counter(a),
+        1 => MetricValue::Gauge(b),
+        _ => {
+            let (min, max) = (lo.min(hi), lo.max(hi));
+            MetricValue::Histogram(HistogramSummary {
+                count,
+                // Finite float with a fractional part; exercises both the
+                // "needs .0 suffix" and genuine-fraction encoder paths.
+                mean: f64::from(whole) + f64::from(thousandths % 1000) / 1000.0,
+                min,
+                max,
+                p50: min,
+                p99: max,
+                p999: max,
+            })
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Arbitrary dotted (or arbitrarily un-dotted) names mapped to
+    /// arbitrary readings come back bit-identical from the JSON form.
+    #[test]
+    fn prop_snapshot_json_round_trips(
+        entries in proptest::collection::btree_map(
+            "[a-z0-9_.]{1,40}",
+            (0u8..=255, any::<u64>(), any::<i64>(), any::<u64>(),
+             any::<u32>(), any::<u32>(), any::<u64>(), any::<u64>()),
+            0..16,
+        ),
+    ) {
+        let snapshot = MetricsSnapshot::from_readings(
+            entries
+                .into_iter()
+                .map(|(name, (k, a, b, c, w, t, lo, hi))| {
+                    (name, reading(k, a, b, c, w, t, lo, hi))
+                }),
+        );
+        let json = snapshot.to_json();
+        let back = MetricsSnapshot::from_json(&json)
+            .map_err(|e| TestCaseError::fail(format!("decode failed: {e}\n{json}")))?;
+        prop_assert_eq!(back, snapshot);
+    }
+
+    /// Counter values at the integer extremes survive (u64::MAX does not
+    /// fit i64 — the parser must take the UInt path, not truncate).
+    #[test]
+    fn prop_extreme_counters_survive(v in any::<u64>()) {
+        let snapshot = MetricsSnapshot::from_readings([
+            ("extreme".to_string(), MetricValue::Counter(v)),
+            ("max".to_string(), MetricValue::Counter(u64::MAX)),
+            ("min_gauge".to_string(), MetricValue::Gauge(i64::MIN)),
+        ]);
+        let back = MetricsSnapshot::from_json(&snapshot.to_json()).unwrap();
+        prop_assert_eq!(back.counter("extreme"), Some(v));
+        prop_assert_eq!(back.counter("max"), Some(u64::MAX));
+        prop_assert_eq!(back.gauge("min_gauge"), Some(i64::MIN));
+    }
+}

@@ -1,0 +1,426 @@
+//! Minimal serde-shaped serialization traits over a JSON value model.
+//!
+//! The real serde pivots on a generic data model plus proc-macro derives;
+//! neither is available offline, so this stand-in collapses the design to
+//! the part the workspace needs: a [`JsonValue`] tree, [`Serialize`] /
+//! [`Deserialize`] traits mapping types to and from it, and a [`JsonKey`]
+//! trait for map keys (JSON object keys are strings, so integer-keyed maps
+//! serialize through their decimal form, exactly as serde_json does).
+//!
+//! Types that previously used `#[derive(Serialize, Deserialize)]` now
+//! carry short hand-written impls; the `serde_json` façade crate provides
+//! the familiar `to_string` / `from_str` entry points over these traits.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+/// A parsed JSON document.
+///
+/// Integers keep their signedness ([`Int`](JsonValue::Int) vs
+/// [`UInt`](JsonValue::UInt)) so u64 counters round-trip exactly; floats
+/// are only produced by tokens with a fraction or exponent.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Integer that fits i64 (all negative integers parse here).
+    Int(i64),
+    /// Integer above `i64::MAX`.
+    UInt(u64),
+    /// Number written with a fraction or exponent.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Array(Vec<JsonValue>),
+    /// Object; insertion order is preserved.
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Looks up a key in an object.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(entries) => {
+                entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+            }
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Integer value as i64, when representable.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            JsonValue::Int(v) => Some(*v),
+            JsonValue::UInt(v) => i64::try_from(*v).ok(),
+            _ => None,
+        }
+    }
+
+    /// Integer value as u64, when non-negative.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Int(v) => u64::try_from(*v).ok(),
+            JsonValue::UInt(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Numeric value as f64 (integers widen).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Int(v) => Some(*v as f64),
+            JsonValue::UInt(v) => Some(*v as f64),
+            JsonValue::Float(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The element list, if this is an array.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The entry list, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, JsonValue)]> {
+        match self {
+            JsonValue::Object(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// One-word description used in error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            JsonValue::Null => "null",
+            JsonValue::Bool(_) => "bool",
+            JsonValue::Int(_) | JsonValue::UInt(_) => "integer",
+            JsonValue::Float(_) => "number",
+            JsonValue::Str(_) => "string",
+            JsonValue::Array(_) => "array",
+            JsonValue::Object(_) => "object",
+        }
+    }
+}
+
+/// Serialization/deserialization failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(pub String);
+
+impl DeError {
+    /// Builds an error describing an unexpected value shape.
+    pub fn expected(what: &str, got: &JsonValue) -> Self {
+        DeError(format!("expected {what}, got {}", got.kind()))
+    }
+
+    /// Builds an error for a missing object field.
+    pub fn missing(field: &str) -> Self {
+        DeError(format!("missing field `{field}`"))
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types convertible into the JSON value model.
+pub trait Serialize {
+    /// Converts `self` into a [`JsonValue`].
+    fn to_json_value(&self) -> JsonValue;
+}
+
+/// Types reconstructible from the JSON value model.
+pub trait Deserialize: Sized {
+    /// Parses `Self` out of a [`JsonValue`].
+    fn from_json_value(value: &JsonValue) -> Result<Self, DeError>;
+}
+
+/// Types usable as JSON object keys (serde stringifies non-string keys).
+pub trait JsonKey: Sized {
+    /// Renders the key as an object-key string.
+    fn to_key(&self) -> String;
+    /// Parses the key back from its string form.
+    fn from_key(key: &str) -> Result<Self, DeError>;
+}
+
+impl JsonKey for String {
+    fn to_key(&self) -> String {
+        self.clone()
+    }
+    fn from_key(key: &str) -> Result<Self, DeError> {
+        Ok(key.to_string())
+    }
+}
+
+macro_rules! int_impls {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn to_json_value(&self) -> JsonValue {
+                #[allow(unused_comparisons)]
+                if (*self as i128) >= 0 && (*self as i128) > i64::MAX as i128 {
+                    JsonValue::UInt(*self as u64)
+                } else {
+                    JsonValue::Int(*self as i64)
+                }
+            }
+        }
+        impl Deserialize for $ty {
+            fn from_json_value(value: &JsonValue) -> Result<Self, DeError> {
+                let err = || DeError::expected(stringify!($ty), value);
+                match value {
+                    JsonValue::Int(v) => <$ty>::try_from(*v).map_err(|_| err()),
+                    JsonValue::UInt(v) => <$ty>::try_from(*v).map_err(|_| err()),
+                    _ => Err(err()),
+                }
+            }
+        }
+        impl JsonKey for $ty {
+            fn to_key(&self) -> String {
+                self.to_string()
+            }
+            fn from_key(key: &str) -> Result<Self, DeError> {
+                key.parse().map_err(|_| {
+                    DeError(format!("bad {} key `{key}`", stringify!($ty)))
+                })
+            }
+        }
+    )*};
+}
+
+int_impls!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_json_value(value: &JsonValue) -> Result<Self, DeError> {
+        value.as_f64().ok_or_else(|| DeError::expected("number", value))
+    }
+}
+
+impl Serialize for bool {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_json_value(value: &JsonValue) -> Result<Self, DeError> {
+        value.as_bool().ok_or_else(|| DeError::expected("bool", value))
+    }
+}
+
+impl Serialize for String {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::Str(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::Str(self.to_string())
+    }
+}
+
+impl Deserialize for String {
+    fn from_json_value(value: &JsonValue) -> Result<Self, DeError> {
+        value
+            .as_str()
+            .map(str::to_string)
+            .ok_or_else(|| DeError::expected("string", value))
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_json_value(value: &JsonValue) -> Result<Self, DeError> {
+        value
+            .as_array()
+            .ok_or_else(|| DeError::expected("array", value))?
+            .iter()
+            .map(T::from_json_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json_value(&self) -> JsonValue {
+        match self {
+            Some(v) => v.to_json_value(),
+            None => JsonValue::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_json_value(value: &JsonValue) -> Result<Self, DeError> {
+        match value {
+            JsonValue::Null => Ok(None),
+            other => T::from_json_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json_value(&self) -> JsonValue {
+        (*self).to_json_value()
+    }
+}
+
+impl<K: JsonKey + Ord, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::Object(
+            self.iter()
+                .map(|(k, v)| (k.to_key(), v.to_json_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: JsonKey + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_json_value(value: &JsonValue) -> Result<Self, DeError> {
+        value
+            .as_object()
+            .ok_or_else(|| DeError::expected("object", value))?
+            .iter()
+            .map(|(k, v)| Ok((K::from_key(k)?, V::from_json_value(v)?)))
+            .collect()
+    }
+}
+
+impl<K: JsonKey + Eq + std::hash::Hash, V: Serialize> Serialize for HashMap<K, V> {
+    fn to_json_value(&self) -> JsonValue {
+        // Sort keys for canonical output, as serde_json's BTreeMap-backed
+        // maps would.
+        let mut entries: Vec<(String, JsonValue)> = self
+            .iter()
+            .map(|(k, v)| (k.to_key(), v.to_json_value()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        JsonValue::Object(entries)
+    }
+}
+
+impl<K: JsonKey + Eq + std::hash::Hash, V: Deserialize> Deserialize for HashMap<K, V> {
+    fn from_json_value(value: &JsonValue) -> Result<Self, DeError> {
+        value
+            .as_object()
+            .ok_or_else(|| DeError::expected("object", value))?
+            .iter()
+            .map(|(k, v)| Ok((K::from_key(k)?, V::from_json_value(v)?)))
+            .collect()
+    }
+}
+
+/// Deserializes a required field out of an object value.
+pub fn get_field<T: Deserialize>(value: &JsonValue, name: &str) -> Result<T, DeError> {
+    match value.get(name) {
+        Some(field) => T::from_json_value(field),
+        None => Err(DeError::missing(name)),
+    }
+}
+
+/// Deserializes an optional field, substituting `T::default()` when the
+/// field is absent (the `#[serde(default)]` behavior).
+pub fn get_field_or_default<T: Deserialize + Default>(
+    value: &JsonValue,
+    name: &str,
+) -> Result<T, DeError> {
+    match value.get(name) {
+        Some(field) => T::from_json_value(field),
+        None => Ok(T::default()),
+    }
+}
+
+/// Builds a [`JsonValue::Object`] from name/value pairs.
+pub fn object(entries: Vec<(&str, JsonValue)>) -> JsonValue {
+    JsonValue::Object(
+        entries
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        for v in [0i64, -5, i64::MAX] {
+            assert_eq!(i64::from_json_value(&v.to_json_value()), Ok(v));
+        }
+        assert_eq!(
+            u64::from_json_value(&u64::MAX.to_json_value()),
+            Ok(u64::MAX)
+        );
+        assert_eq!(
+            String::from_json_value(&"hi".to_string().to_json_value()),
+            Ok("hi".to_string())
+        );
+        assert_eq!(bool::from_json_value(&true.to_json_value()), Ok(true));
+    }
+
+    #[test]
+    fn uint_overflow_detected() {
+        let big = JsonValue::UInt(u64::MAX);
+        assert!(i64::from_json_value(&big).is_err());
+        assert_eq!(big.as_u64(), Some(u64::MAX));
+        assert_eq!(big.as_i64(), None);
+    }
+
+    #[test]
+    fn int_keyed_maps_stringify() {
+        let mut map = BTreeMap::new();
+        map.insert(3u16, 9u64);
+        let json = map.to_json_value();
+        assert_eq!(json.get("3").and_then(JsonValue::as_u64), Some(9));
+        let back: BTreeMap<u16, u64> = BTreeMap::from_json_value(&json).unwrap();
+        assert_eq!(back, map);
+    }
+
+    #[test]
+    fn option_null_round_trip() {
+        let none: Option<u32> = None;
+        assert_eq!(none.to_json_value(), JsonValue::Null);
+        assert_eq!(Option::<u32>::from_json_value(&JsonValue::Null), Ok(None));
+        assert_eq!(
+            Option::<u32>::from_json_value(&JsonValue::Int(4)),
+            Ok(Some(4))
+        );
+    }
+}
