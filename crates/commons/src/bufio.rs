@@ -50,13 +50,36 @@ pub fn framed_len(payload_len: usize) -> usize {
     FRAME_HEADER + payload_len
 }
 
-/// Reads the frame starting at `offset` in `data`.
-pub fn read_frame(data: &[u8], offset: usize) -> Frame {
+/// Outcome of locating one frame without copying its payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameBounds {
+    /// A structurally complete record: payload is `data[start..end]`, the
+    /// next frame begins at `end`.
+    Record {
+        /// First payload byte.
+        start: usize,
+        /// One past the last payload byte (== next frame's offset).
+        end: usize,
+    },
+    /// Clean end of stream exactly at the read position.
+    End,
+    /// A torn or corrupt frame begins here.
+    Corrupt,
+}
+
+/// Locates the frame starting at `offset` without reading the payload:
+/// header and length bounds are validated, the CRC is **not**. This is the
+/// serving-path primitive — bytes that were CRC-framed on append and never
+/// left process memory are handed out without being touched, the same
+/// contract `sendfile` gives Kafka (the kernel cannot checksum what it
+/// never copies through user space). Use [`frame_at`] when the bytes
+/// crossed a trust boundary (disk recovery, decompression).
+pub fn frame_bounds(data: &[u8], offset: usize) -> FrameBounds {
     if offset == data.len() {
-        return Frame::End;
+        return FrameBounds::End;
     }
     if offset > data.len() || data.len() - offset < FRAME_HEADER {
-        return Frame::Corrupt;
+        return FrameBounds::Corrupt;
     }
     let len = u32::from_le_bytes([
         data[offset],
@@ -64,23 +87,43 @@ pub fn read_frame(data: &[u8], offset: usize) -> Frame {
         data[offset + 2],
         data[offset + 3],
     ]) as usize;
-    let crc = u32::from_le_bytes([
-        data[offset + 4],
-        data[offset + 5],
-        data[offset + 6],
-        data[offset + 7],
-    ]);
     let start = offset + FRAME_HEADER;
     if data.len() - start < len {
-        return Frame::Corrupt;
+        return FrameBounds::Corrupt;
     }
-    let payload = &data[start..start + len];
-    if crc32(payload) != crc {
-        return Frame::Corrupt;
+    FrameBounds::Record { start, end: start + len }
+}
+
+/// Locates and fully validates (including CRC) the frame at `offset`,
+/// returning payload bounds instead of a copy.
+pub fn frame_at(data: &[u8], offset: usize) -> FrameBounds {
+    match frame_bounds(data, offset) {
+        FrameBounds::Record { start, end } => {
+            let crc = u32::from_le_bytes([
+                data[offset + 4],
+                data[offset + 5],
+                data[offset + 6],
+                data[offset + 7],
+            ]);
+            if crc32(&data[start..end]) != crc {
+                FrameBounds::Corrupt
+            } else {
+                FrameBounds::Record { start, end }
+            }
+        }
+        other => other,
     }
-    Frame::Record {
-        payload: payload.to_vec(),
-        next: start + len,
+}
+
+/// Reads the frame starting at `offset` in `data`, copying the payload.
+pub fn read_frame(data: &[u8], offset: usize) -> Frame {
+    match frame_at(data, offset) {
+        FrameBounds::End => Frame::End,
+        FrameBounds::Corrupt => Frame::Corrupt,
+        FrameBounds::Record { start, end } => Frame::Record {
+            payload: data[start..end].to_vec(),
+            next: end,
+        },
     }
 }
 
@@ -142,6 +185,25 @@ mod tests {
         let (records, end) = recover(&buf);
         assert_eq!(records, vec![b"alpha".to_vec()]);
         assert_eq!(end, boundary);
+    }
+
+    #[test]
+    fn frame_bounds_skips_crc_but_catches_torn_frames() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"serve me");
+        let FrameBounds::Record { start, end } = frame_bounds(&buf, 0) else {
+            panic!("expected a record");
+        };
+        assert_eq!(&buf[start..end], b"serve me");
+        assert_eq!(frame_bounds(&buf, end), FrameBounds::End);
+        // A flipped payload bit is invisible to the structural check but
+        // caught by the full validation.
+        buf[FRAME_HEADER] ^= 0x01;
+        assert!(matches!(frame_bounds(&buf, 0), FrameBounds::Record { .. }));
+        assert_eq!(frame_at(&buf, 0), FrameBounds::Corrupt);
+        // Truncation is structural: both reject it.
+        let torn = &buf[..buf.len() - 1];
+        assert_eq!(frame_bounds(torn, 0), FrameBounds::Corrupt);
     }
 
     #[test]

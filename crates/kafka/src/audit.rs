@@ -129,13 +129,23 @@ impl AuditReconciler {
         cluster: &Arc<KafkaCluster>,
         topic: &str,
     ) -> Result<Vec<WindowAudit>, KafkaError> {
+        // Polls ride the zero-copy fetch: every envelope parsed below is a
+        // view of the broker's own segment storage. Draining in a loop
+        // (rather than one poll) keeps the verdicts complete even when a
+        // window's traffic exceeds the per-fetch byte budget.
         let mut consumed: HashMap<u64, u64> = HashMap::new();
         for partition in 0..cluster.num_partitions(topic)? {
             let mut consumer =
                 crate::consumer::SimpleConsumer::new(cluster.clone(), topic, partition)?;
-            for (_, message) in consumer.poll()? {
-                if let Some((_, window, _)) = parse_envelope(&message) {
-                    *consumed.entry(window).or_insert(0) += 1;
+            loop {
+                let batch = consumer.poll()?;
+                if batch.is_empty() {
+                    break;
+                }
+                for (_, message) in &batch {
+                    if let Some((_, window, _)) = parse_envelope(message) {
+                        *consumed.entry(window).or_insert(0) += 1;
+                    }
                 }
             }
         }
@@ -144,16 +154,23 @@ impl AuditReconciler {
         for partition in 0..cluster.num_partitions(AUDIT_TOPIC)? {
             let mut consumer =
                 crate::consumer::SimpleConsumer::new(cluster.clone(), AUDIT_TOPIC, partition)?;
-            for (_, message) in consumer.poll()? {
-                let Some((_, window, body)) = parse_envelope(&message) else {
-                    continue;
-                };
-                // body = "<topic>:<count>"
-                let Some((audited_topic, count)) = body.rsplit_once(':') else {
-                    continue;
-                };
-                if audited_topic == topic {
-                    *produced.entry(window).or_insert(0) += count.parse::<u64>().unwrap_or(0);
+            loop {
+                let batch = consumer.poll()?;
+                if batch.is_empty() {
+                    break;
+                }
+                for (_, message) in &batch {
+                    let Some((_, window, body)) = parse_envelope(message) else {
+                        continue;
+                    };
+                    // body = "<topic>:<count>"
+                    let Some((audited_topic, count)) = body.rsplit_once(':') else {
+                        continue;
+                    };
+                    if audited_topic == topic {
+                        *produced.entry(window).or_insert(0) +=
+                            count.parse::<u64>().unwrap_or(0);
+                    }
                 }
             }
         }

@@ -8,7 +8,7 @@ use li_commons::metrics::{Counter, Gauge, MetricsRegistry};
 use li_commons::sim::Clock;
 
 use crate::log::{LogConfig, PartitionLog};
-use crate::message::{KafkaError, Message, MessageSet};
+use crate::message::{FetchChunk, KafkaError, Message, MessageSet};
 
 /// Per-broker observability under `kafka.broker<id>.`: messages and bytes
 /// through produce and fetch, plus one `log_end` gauge per hosted
@@ -134,7 +134,9 @@ impl Broker {
         Ok(offset)
     }
 
-    /// Appends every message of a set; returns the first offset.
+    /// Appends every message of a set under **one** log lock acquisition
+    /// (the set is encoded into a single buffer first); returns the first
+    /// offset.
     pub fn produce(
         &self,
         topic: &str,
@@ -142,19 +144,38 @@ impl Broker {
         set: &MessageSet,
     ) -> Result<u64, KafkaError> {
         let log = self.log(topic, partition)?;
-        let mut first = None;
-        for message in &set.messages {
-            let offset = log.append(message);
-            first.get_or_insert(offset);
-            self.metrics.produce_messages.inc();
-            self.metrics.bytes_in.add(message.payload.len() as u64);
-        }
+        let first = log.append_set(set);
+        self.metrics.produce_messages.add(set.messages.len() as u64);
+        self.metrics.bytes_in.add(set.payload_bytes() as u64);
         self.log_end_gauge(topic, partition).set(log.log_end() as i64);
-        Ok(first.unwrap_or_else(|| log.log_end()))
+        Ok(first)
+    }
+
+    /// Appends an already-encoded message set (a producer wire buffer, a
+    /// mirrored or replicated chunk) verbatim, without decoding it —
+    /// `messages` and `payload_bytes` are the caller's accounting for the
+    /// buffer. Returns the base offset.
+    pub fn produce_frames(
+        &self,
+        topic: &str,
+        partition: u32,
+        frames: &[u8],
+        messages: u64,
+        payload_bytes: usize,
+    ) -> Result<u64, KafkaError> {
+        let log = self.log(topic, partition)?;
+        let first = log.append_frames(frames)?;
+        self.metrics.produce_messages.add(messages);
+        self.metrics.bytes_in.add(payload_bytes as u64);
+        self.log_end_gauge(topic, partition).set(log.log_end() as i64);
+        Ok(first)
     }
 
     /// Pull fetch: raw stored messages from `offset`, bounded by
     /// `max_bytes`. The consumer unwraps compression.
+    ///
+    /// Thin adapter over [`Broker::fetch_chunks`]; payloads of the decoded
+    /// messages still alias segment memory.
     pub fn fetch(
         &self,
         topic: &str,
@@ -162,11 +183,32 @@ impl Broker {
         offset: u64,
         max_bytes: usize,
     ) -> Result<(Vec<(u64, Message)>, u64), KafkaError> {
-        let (messages, next) = self.log(topic, partition)?.read(offset, max_bytes)?;
-        self.metrics.fetch_messages.add(messages.len() as u64);
-        let bytes: usize = messages.iter().map(|(_, m)| m.payload.len()).sum();
-        self.metrics.bytes_out.add(bytes as u64);
+        let (chunks, next) = self.fetch_chunks(topic, partition, offset, max_bytes)?;
+        let mut messages = Vec::new();
+        for chunk in &chunks {
+            for item in chunk {
+                messages.push(item?);
+            }
+        }
         Ok((messages, next))
+    }
+
+    /// Zero-copy pull fetch: frame-aligned [`FetchChunk`] views of the
+    /// partition log's own segment storage, bounded by `max_bytes`. No
+    /// payload byte is copied and no lock is held while the caller decodes.
+    pub fn fetch_chunks(
+        &self,
+        topic: &str,
+        partition: u32,
+        offset: u64,
+        max_bytes: usize,
+    ) -> Result<(Vec<FetchChunk>, u64), KafkaError> {
+        let (chunks, next) = self.log(topic, partition)?.read_chunks(offset, max_bytes)?;
+        for chunk in &chunks {
+            self.metrics.fetch_messages.add(chunk.messages);
+            self.metrics.bytes_out.add(chunk.payload_bytes() as u64);
+        }
+        Ok((chunks, next))
     }
 
     /// Replaces a partition's log with a fresh one (replication layer:

@@ -81,13 +81,30 @@ impl SimpleConsumer {
     /// One pull: fetches from the current offset, unwraps compressed
     /// batches, advances the offset. Returns `(wrapper_offset, message)`
     /// pairs — acknowledging an offset implies everything before it.
+    ///
+    /// The fetch is zero-copy end to end: the broker hands back
+    /// [`crate::message::FetchChunk`] views of its own segment storage,
+    /// and uncompressed payloads are `Bytes` sub-slices of those chunks —
+    /// no byte of payload is copied between the log and this method's
+    /// caller. Compressed wrappers are decompressed here, outside any
+    /// broker lock, into one buffer their inner payloads then alias.
     pub fn poll(&mut self) -> Result<Vec<(u64, Message)>, KafkaError> {
         let broker = self.cluster.broker_for(&self.topic, self.partition)?;
-        let (raw, next) = broker.fetch(&self.topic, self.partition, self.offset, self.max_bytes)?;
-        let mut out = Vec::with_capacity(raw.len());
-        for (offset, message) in &raw {
-            for inner in MessageSet::unwrap_message(message)? {
-                out.push((*offset, inner));
+        let (chunks, next) =
+            broker.fetch_chunks(&self.topic, self.partition, self.offset, self.max_bytes)?;
+        let mut out = Vec::with_capacity(chunks.iter().map(|c| c.messages as usize).sum());
+        for chunk in &chunks {
+            for item in chunk {
+                let (offset, message) = item?;
+                match message.codec {
+                    // Fast path: the message IS the view — push it as is.
+                    li_commons::compress::Codec::None => out.push((offset, message)),
+                    _ => {
+                        for inner in MessageSet::unwrap_message(&message)? {
+                            out.push((offset, inner));
+                        }
+                    }
+                }
             }
         }
         self.offset = next;

@@ -188,16 +188,17 @@ impl GroupConsumer {
 
     /// Polls every owned partition once, committing offsets to ZooKeeper
     /// afterwards (at-least-once on crash between processing and commit).
+    /// Delivered payloads are zero-copy views of broker segment storage
+    /// (see [`SimpleConsumer::poll`]).
     pub fn poll(&mut self) -> Result<Vec<(u32, Message)>, KafkaError> {
         let mut out = Vec::new();
         let mut commits = Vec::new();
         for (partition, consumer) in &mut self.owned {
             let before = consumer.position();
-            for (_, message) in consumer.poll()? {
-                out.push((*partition, message));
-            }
+            let partition = *partition;
+            out.extend(consumer.poll()?.into_iter().map(|(_, m)| (partition, m)));
             if consumer.position() != before {
-                commits.push((*partition, consumer.position()));
+                commits.push((partition, consumer.position()));
             }
         }
         for (partition, offset) in commits {

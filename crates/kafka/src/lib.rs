@@ -71,6 +71,6 @@ pub use broker::Broker;
 pub use cluster::KafkaCluster;
 pub use consumer::{MessageStream, SimpleConsumer};
 pub use group::GroupConsumer;
-pub use message::{KafkaError, Message, MessageSet};
+pub use message::{FetchChunk, KafkaError, Message, MessageSet};
 pub use producer::{Partitioner, Producer};
 pub use replication::ReplicatedCluster;

@@ -62,6 +62,10 @@ impl From<li_zk::ZkError> for KafkaError {
     }
 }
 
+/// Framing overhead per stored message: the CRC frame header plus the
+/// one-byte codec attribute.
+pub const MESSAGE_OVERHEAD: usize = bufio::FRAME_HEADER + 1;
+
 /// A single message: an opaque byte payload plus a codec attribute.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Message {
@@ -93,26 +97,163 @@ impl Message {
         bufio::write_frame(out, &body);
     }
 
-    /// Decodes the message framed at `offset` in `data`, returning it and
-    /// the next offset.
+    /// Decodes the message framed at `offset` in `data`, CRC-validating
+    /// the frame and **copying** the payload into a fresh allocation.
+    ///
+    /// This is the trust-boundary decoder (disk recovery, wire ingress).
+    /// The fetch path uses [`FetchChunk`] views instead, whose payloads
+    /// alias the stored bytes.
     pub fn decode_at(data: &[u8], offset: usize) -> Result<Option<(Message, usize)>, KafkaError> {
-        match bufio::read_frame(data, offset) {
-            bufio::Frame::End => Ok(None),
-            bufio::Frame::Corrupt => Err(KafkaError::Corrupt(format!(
+        match bufio::frame_at(data, offset) {
+            bufio::FrameBounds::End => Ok(None),
+            bufio::FrameBounds::Corrupt => Err(KafkaError::Corrupt(format!(
                 "bad frame at offset {offset}"
             ))),
-            bufio::Frame::Record { payload, next } => {
-                if payload.is_empty() {
+            bufio::FrameBounds::Record { start, end } => {
+                if start == end {
                     return Err(KafkaError::Corrupt("empty frame body".into()));
                 }
-                let codec = Codec::from_attribute(payload[0])
+                let codec = Codec::from_attribute(data[start])
                     .map_err(|e| KafkaError::Codec(e.to_string()))?;
                 Ok(Some((
                     Message {
                         codec,
-                        payload: Bytes::copy_from_slice(&payload[1..]),
+                        payload: Bytes::copy_from_slice(&data[start + 1..end]),
                     },
-                    next,
+                    end,
+                )))
+            }
+        }
+    }
+
+    /// Like [`Message::decode_at`] (CRC-validated) but the payload is a
+    /// zero-copy sub-slice sharing `data`'s allocation.
+    pub fn decode_shared_at(
+        data: &Bytes,
+        offset: usize,
+    ) -> Result<Option<(Message, usize)>, KafkaError> {
+        match bufio::frame_at(data, offset) {
+            bufio::FrameBounds::End => Ok(None),
+            bufio::FrameBounds::Corrupt => Err(KafkaError::Corrupt(format!(
+                "bad frame at offset {offset}"
+            ))),
+            bufio::FrameBounds::Record { start, end } => {
+                if start == end {
+                    return Err(KafkaError::Corrupt("empty frame body".into()));
+                }
+                let codec = Codec::from_attribute(data[start])
+                    .map_err(|e| KafkaError::Codec(e.to_string()))?;
+                Ok(Some((
+                    Message {
+                        codec,
+                        payload: data.slice(start + 1..end),
+                    },
+                    end,
+                )))
+            }
+        }
+    }
+}
+
+/// A contiguous, frame-aligned run of stored bytes handed out by a fetch:
+/// the zero-copy unit of the consumer data path. `data` is a cheap view of
+/// the partition log's own segment allocation; iterating it yields
+/// [`Message`]s whose payloads are `Bytes::slice` sub-views of that same
+/// allocation — no byte of payload is copied between broker storage and
+/// the consumer.
+///
+/// Frames inside a chunk were CRC-validated when appended and have never
+/// left process memory, so iteration performs structural (length-bound)
+/// validation only — the `sendfile` contract: served bytes are not
+/// touched, let alone re-checksummed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FetchChunk {
+    /// Logical offset of the first frame in `data`.
+    pub base_offset: u64,
+    /// Framed messages, sharing the segment's allocation.
+    pub data: Bytes,
+    /// Number of complete frames in `data`.
+    pub messages: u64,
+}
+
+impl FetchChunk {
+    /// Total framed bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the chunk holds no frames.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Application payload bytes (framed bytes minus per-message
+    /// framing overhead).
+    pub fn payload_bytes(&self) -> usize {
+        self.data.len() - self.messages as usize * MESSAGE_OVERHEAD
+    }
+
+    /// Lazy zero-copy iterator over `(offset, message)` pairs.
+    pub fn iter(&self) -> FetchIter<'_> {
+        FetchIter { chunk: self, pos: 0 }
+    }
+
+    /// Eagerly decodes the whole chunk (payloads still alias `data`).
+    pub fn decode(&self) -> Result<Vec<(u64, Message)>, KafkaError> {
+        self.iter().collect()
+    }
+}
+
+impl<'a> IntoIterator for &'a FetchChunk {
+    type Item = Result<(u64, Message), KafkaError>;
+    type IntoIter = FetchIter<'a>;
+    fn into_iter(self) -> FetchIter<'a> {
+        self.iter()
+    }
+}
+
+/// Iterator over the messages of a [`FetchChunk`]; see there for the
+/// validation contract. Fuses after yielding an error.
+#[derive(Debug)]
+pub struct FetchIter<'a> {
+    chunk: &'a FetchChunk,
+    pos: usize,
+}
+
+impl Iterator for FetchIter<'_> {
+    type Item = Result<(u64, Message), KafkaError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        match bufio::frame_bounds(&self.chunk.data, self.pos) {
+            bufio::FrameBounds::End => None,
+            bufio::FrameBounds::Corrupt => {
+                let err = KafkaError::Corrupt(format!(
+                    "bad frame at offset {} of fetched chunk",
+                    self.pos
+                ));
+                self.pos = self.chunk.data.len(); // fuse
+                Some(Err(err))
+            }
+            bufio::FrameBounds::Record { start, end } => {
+                if start == end {
+                    self.pos = self.chunk.data.len();
+                    return Some(Err(KafkaError::Corrupt("empty frame body".into())));
+                }
+                let codec = match Codec::from_attribute(self.chunk.data[start]) {
+                    Ok(codec) => codec,
+                    Err(e) => {
+                        self.pos = self.chunk.data.len();
+                        return Some(Err(KafkaError::Codec(e.to_string())));
+                    }
+                };
+                let offset = self.chunk.base_offset + self.pos as u64;
+                self.pos = end;
+                Some(Ok((
+                    offset,
+                    Message {
+                        codec,
+                        payload: self.chunk.data.slice(start + 1..end),
+                    },
                 )))
             }
         }
@@ -150,11 +291,25 @@ impl MessageSet {
         out
     }
 
-    /// Parses a concatenation of frames.
+    /// Parses a concatenation of frames, copying each payload.
     pub fn decode(data: &[u8]) -> Result<Self, KafkaError> {
         let mut messages = Vec::new();
         let mut offset = 0usize;
         while let Some((message, next)) = Message::decode_at(data, offset)? {
+            messages.push(message);
+            offset = next;
+        }
+        Ok(MessageSet { messages })
+    }
+
+    /// Parses a concatenation of frames into messages whose payloads are
+    /// zero-copy sub-slices of `data`'s allocation (CRC-validated — this
+    /// is used on decompressed wrapper bodies, which cross the codec
+    /// trust boundary).
+    pub fn decode_shared(data: &Bytes) -> Result<Self, KafkaError> {
+        let mut messages = Vec::new();
+        let mut offset = 0usize;
+        while let Some((message, next)) = Message::decode_shared_at(data, offset)? {
             messages.push(message);
             offset = next;
         }
@@ -179,11 +334,14 @@ impl MessageSet {
         match message.codec {
             Codec::None => Ok(vec![message.clone()]),
             Codec::Lz => {
-                let raw = compress::decompress(&message.payload)
-                    .map_err(|e| KafkaError::Codec(e.to_string()))?;
+                let raw = Bytes::from(
+                    compress::decompress(&message.payload)
+                        .map_err(|e| KafkaError::Codec(e.to_string()))?,
+                );
                 // The wrapper contains either framed inner messages or (for
-                // the no-win fallback path) framed plain messages.
-                Ok(MessageSet::decode(&raw)?.messages)
+                // the no-win fallback path) framed plain messages. Inner
+                // payloads alias the single decompression buffer.
+                Ok(MessageSet::decode_shared(&raw)?.messages)
             }
         }
     }
@@ -275,5 +433,46 @@ mod tests {
     fn plain_message_unwraps_to_itself() {
         let m = Message::new(&b"solo"[..]);
         assert_eq!(MessageSet::unwrap_message(&m).unwrap(), vec![m]);
+    }
+
+    #[test]
+    fn fetch_chunk_iterates_lazily_and_aliases_its_buffer() {
+        let set = MessageSet::from_payloads(["aa", "bbb", "c"]);
+        let data = Bytes::from(set.encode());
+        let chunk = FetchChunk { base_offset: 100, data: data.clone(), messages: 3 };
+        assert_eq!(chunk.payload_bytes(), 6);
+        let decoded = chunk.decode().unwrap();
+        assert_eq!(decoded.len(), 3);
+        assert_eq!(decoded[0].0, 100);
+        assert_eq!(
+            decoded[1].0,
+            100 + Message::new(&b"aa"[..]).framed_len() as u64
+        );
+        assert_eq!(decoded[1].1.payload.as_ref(), b"bbb");
+        for (_, m) in &decoded {
+            assert!(m.payload.shares_allocation(&data), "payload must not be copied");
+        }
+    }
+
+    #[test]
+    fn fetch_chunk_iter_fuses_on_torn_frame() {
+        let set = MessageSet::from_payloads(["whole", "torn"]);
+        let mut raw = set.encode();
+        raw.truncate(raw.len() - 2);
+        let chunk = FetchChunk { base_offset: 0, data: Bytes::from(raw), messages: 2 };
+        let mut iter = chunk.iter();
+        assert!(iter.next().unwrap().is_ok());
+        assert!(matches!(iter.next(), Some(Err(KafkaError::Corrupt(_)))));
+        assert!(iter.next().is_none(), "fused after the error");
+    }
+
+    #[test]
+    fn unwrapped_compressed_payloads_share_one_decompression_buffer() {
+        let set = MessageSet::from_payloads((0..20).map(|i| format!("event {i} event")));
+        let inner = MessageSet::unwrap_message(&set.compressed()).unwrap();
+        assert_eq!(inner.len(), 20);
+        for m in &inner[1..] {
+            assert!(m.payload.shares_allocation(&inner[0].payload));
+        }
     }
 }

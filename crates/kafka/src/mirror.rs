@@ -59,7 +59,13 @@ impl MirrorMaker {
     }
 
     /// One mirroring pass: copies every new stored message. Returns
-    /// messages copied.
+    /// messages copied (compressed wrappers count as one — they are
+    /// mirrored without being expanded).
+    ///
+    /// Zero-decode: the source's [`crate::message::FetchChunk`]s are
+    /// appended to the target byte-verbatim — frames are never decoded,
+    /// decompressed, or re-encoded on the hop, so compression survives it
+    /// and the only per-message work is the target's structural frame walk.
     pub fn pump(&self) -> Result<usize, KafkaError> {
         let mut copied = 0;
         for topic in &self.topics {
@@ -67,14 +73,21 @@ impl MirrorMaker {
                 let key = (topic.clone(), partition);
                 let offset = *self.offsets.lock().get(&key).unwrap_or(&0);
                 let broker = self.source.broker_for(topic, partition)?;
-                let (raw, next) = broker.fetch(topic, partition, offset, usize::MAX)?;
-                if raw.is_empty() {
+                let (chunks, next) =
+                    broker.fetch_chunks(topic, partition, offset, usize::MAX)?;
+                if chunks.is_empty() {
                     continue;
                 }
                 let target_broker = self.target.broker_for(topic, partition)?;
-                for (_, message) in &raw {
-                    target_broker.produce_message(topic, partition, message)?;
-                    copied += 1;
+                for chunk in &chunks {
+                    target_broker.produce_frames(
+                        topic,
+                        partition,
+                        &chunk.data,
+                        chunk.messages,
+                        chunk.payload_bytes(),
+                    )?;
+                    copied += chunk.messages as usize;
                 }
                 self.offsets.lock().insert(key, next);
             }
@@ -148,15 +161,21 @@ impl WarehouseLoader {
                 let key = (topic.clone(), partition);
                 let offset = *self.offsets.lock().get(&key).unwrap_or(&0);
                 let broker = self.cluster.broker_for(topic, partition)?;
-                let (raw, next) = broker.fetch(topic, partition, offset, usize::MAX)?;
-                for (_, message) in &raw {
-                    for inner in MessageSet::unwrap_message(message)? {
-                        self.warehouse.lock().push(WarehouseRow {
-                            topic: topic.clone(),
-                            payload: inner.payload,
-                            loaded_at: now,
-                        });
-                        loaded += 1;
+                let (chunks, next) =
+                    broker.fetch_chunks(topic, partition, offset, usize::MAX)?;
+                for chunk in &chunks {
+                    for item in chunk {
+                        let (_, message) = item?;
+                        // Uncompressed rows alias the mirror's segment
+                        // memory; wrappers decompress once per batch.
+                        for inner in MessageSet::unwrap_message(&message)? {
+                            self.warehouse.lock().push(WarehouseRow {
+                                topic: topic.clone(),
+                                payload: inner.payload,
+                                loaded_at: now,
+                            });
+                            loaded += 1;
+                        }
                     }
                 }
                 self.offsets.lock().insert(key, next);

@@ -157,16 +157,21 @@ impl Producer {
         payload: Bytes,
     ) -> Result<(), KafkaError> {
         let partition = self.pick_partition(topic, key)?;
+        let payload_len = payload.len();
         let flush_now = {
             let mut buffers = self.buffers.lock();
             let batch = buffers.entry((topic.to_string(), partition)).or_default();
-            batch.bytes += payload.len();
+            batch.bytes += payload_len;
             batch.payloads.push(payload);
-            let mut stats = self.stats.lock();
-            stats.messages += 1;
-            stats.payload_bytes += batch.payloads.last().map_or(0, |p| p.len()) as u64;
             batch.payloads.len() >= self.batch_messages
         };
+        // Stats are recorded with the buffer lock already released — the
+        // two mutexes are never held nested.
+        {
+            let mut stats = self.stats.lock();
+            stats.messages += 1;
+            stats.payload_bytes += payload_len as u64;
+        }
         if flush_now {
             self.flush_partition(topic, partition)?;
         }
@@ -186,9 +191,17 @@ impl Producer {
         let broker = self.cluster.broker_for(topic, partition)?;
         let wire_bytes = match self.codec {
             Codec::None => {
-                let bytes = set.encode().len();
-                broker.produce(topic, partition, &set)?;
-                bytes
+                // Encode once; the same buffer is both the wire-byte
+                // accounting and the bytes the broker appends.
+                let frames = set.encode();
+                broker.produce_frames(
+                    topic,
+                    partition,
+                    &frames,
+                    set.messages.len() as u64,
+                    set.payload_bytes(),
+                )?;
+                frames.len()
             }
             Codec::Lz => {
                 let wrapper = set.compressed();

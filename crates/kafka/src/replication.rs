@@ -140,10 +140,14 @@ impl ReplicatedCluster {
                     follower_log = brokers[f as usize].log(&topic, partition)?;
                     from = 0;
                 }
-                let (messages, _) = leader_log.read(from, usize::MAX)?;
-                for (_, message) in messages {
-                    follower_log.append(&message);
-                    copied += 1;
+                // Pull the leader's stored bytes verbatim: appending the
+                // frame-aligned chunks untouched keeps logical offsets
+                // identical on every replica without decoding a single
+                // message.
+                let (chunks, _) = leader_log.read_chunks(from, usize::MAX)?;
+                for chunk in &chunks {
+                    follower_log.append_frames(&chunk.data)?;
+                    copied += chunk.messages as usize;
                 }
             }
         }

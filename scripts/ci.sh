@@ -18,4 +18,7 @@ cargo test -q --workspace
 echo "== cargo clippy --workspace --all-targets -- -D warnings =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== cargo bench --workspace --no-run (bench targets compile-gate) =="
+cargo bench --workspace --no-run
+
 echo "ci.sh: all green"

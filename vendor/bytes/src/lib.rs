@@ -14,9 +14,13 @@ use std::ops::{Deref, RangeBounds};
 use std::sync::Arc;
 
 /// An immutable, reference-counted slice of bytes.
+///
+/// Backed by an `Arc<Vec<u8>>` so that `Bytes::from(vec)` is a move, not
+/// a copy — freezing a log segment's append buffer into shared storage
+/// costs two pointer writes, never a memcpy.
 #[derive(Clone, Default)]
 pub struct Bytes {
-    data: Arc<[u8]>,
+    data: Arc<Vec<u8>>,
     start: usize,
     end: usize,
 }
@@ -35,12 +39,7 @@ impl Bytes {
 
     /// Copies `data` into a new shared allocation.
     pub fn copy_from_slice(data: &[u8]) -> Self {
-        let arc: Arc<[u8]> = Arc::from(data);
-        Bytes {
-            start: 0,
-            end: arc.len(),
-            data: arc,
-        }
+        Bytes::from(data.to_vec())
     }
 
     /// Length in bytes.
@@ -82,6 +81,14 @@ impl Bytes {
     pub fn to_vec(&self) -> Vec<u8> {
         self.as_ref().to_vec()
     }
+
+    /// Whether `self` and `other` are views of the same underlying
+    /// allocation (regardless of the ranges they cover). This is the
+    /// zero-copy proof primitive: a payload sliced out of a log segment
+    /// shares the segment's allocation, a decoded copy does not.
+    pub fn shares_allocation(&self, other: &Bytes) -> bool {
+        Arc::ptr_eq(&self.data, &other.data)
+    }
 }
 
 impl Deref for Bytes {
@@ -104,12 +111,13 @@ impl Borrow<[u8]> for Bytes {
 }
 
 impl From<Vec<u8>> for Bytes {
+    /// Takes ownership of `data` without copying it.
     fn from(data: Vec<u8>) -> Self {
-        let arc: Arc<[u8]> = Arc::from(data);
+        let end = data.len();
         Bytes {
+            data: Arc::new(data),
             start: 0,
-            end: arc.len(),
-            data: arc,
+            end,
         }
     }
 }
@@ -293,6 +301,24 @@ mod tests {
     #[should_panic(expected = "out of bounds")]
     fn slice_past_end_panics() {
         Bytes::from(vec![1]).slice(0..2);
+    }
+
+    #[test]
+    fn from_vec_is_zero_copy() {
+        let v = vec![1u8, 2, 3];
+        let ptr = v.as_ptr();
+        let b = Bytes::from(v);
+        assert_eq!(b.as_ref().as_ptr(), ptr, "freeze must not move the data");
+    }
+
+    #[test]
+    fn shares_allocation_distinguishes_views_from_copies() {
+        let a = Bytes::from(vec![1u8, 2, 3, 4]);
+        let view = a.slice(1..3);
+        let copy = Bytes::copy_from_slice(&a);
+        assert!(a.shares_allocation(&view));
+        assert!(view.shares_allocation(&a));
+        assert!(!a.shares_allocation(&copy));
     }
 
     #[test]
