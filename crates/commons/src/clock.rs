@@ -415,5 +415,50 @@ mod tests {
             let c = b.incremented(w2);
             prop_assert!(c.descends_from(&a));
         }
+
+        // Merge is a join (least upper bound) on the version lattice: the
+        // laws below are what quorum read-repair and apply_update lean on
+        // when they fold sibling clocks into a single base clock.
+
+        #[test]
+        fn prop_merge_associative(a in arb_clock(), b in arb_clock(), c in arb_clock()) {
+            prop_assert_eq!(a.merged(&b).merged(&c), a.merged(&b.merged(&c)));
+        }
+
+        #[test]
+        fn prop_merge_commutative(a in arb_clock(), b in arb_clock()) {
+            prop_assert_eq!(a.merged(&b), b.merged(&a));
+        }
+
+        #[test]
+        fn prop_merge_idempotent(a in arb_clock(), b in arb_clock()) {
+            let m = a.merged(&b);
+            prop_assert_eq!(m.merged(&b), m.clone());
+            prop_assert_eq!(m.merged(&a), m);
+        }
+
+        #[test]
+        fn prop_happens_before_antisymmetric(a in arb_clock(), b in arb_clock()) {
+            // Mutual dominance collapses to equality: two distinct clocks
+            // can never each descend from the other.
+            if a.descends_from(&b) && b.descends_from(&a) {
+                prop_assert_eq!(a, b);
+            }
+        }
+
+        #[test]
+        fn prop_concurrent_iff_neither_descends(a in arb_clock(), b in arb_clock()) {
+            let concurrent = a.compare(&b) == Occurred::Concurrent;
+            prop_assert_eq!(concurrent, !a.descends_from(&b) && !b.descends_from(&a));
+        }
+
+        #[test]
+        fn prop_merge_of_concurrent_dominates_both_strictly(a in arb_clock(), b in arb_clock()) {
+            if a.compare(&b) == Occurred::Concurrent {
+                let m = a.merged(&b);
+                prop_assert_eq!(m.compare(&a), Occurred::After);
+                prop_assert_eq!(m.compare(&b), Occurred::After);
+            }
+        }
     }
 }

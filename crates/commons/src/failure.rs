@@ -133,7 +133,9 @@ impl FailureDetector {
         !matches!(self.inner.lock().get(&node), Some(NodeState::Banned { .. }))
     }
 
-    /// Nodes that are banned and due for a recovery probe. Calling this
+    /// Nodes that are banned and due for a recovery probe, in [`NodeId`]
+    /// order (sorted so probe order — and anything downstream of it, like
+    /// a seeded network's drop sequence — is deterministic). Calling this
     /// also stamps the probe time so the same node isn't probed in a tight
     /// loop — this is the method the async recovery thread polls.
     pub fn nodes_due_for_probe(&self) -> Vec<NodeId> {
@@ -148,6 +150,7 @@ impl FailureDetector {
                 }
             }
         }
+        due.sort_unstable();
         due
     }
 
@@ -175,13 +178,16 @@ impl FailureDetector {
         }
     }
 
-    /// All currently banned nodes.
+    /// All currently banned nodes, in [`NodeId`] order.
     pub fn banned_nodes(&self) -> Vec<NodeId> {
-        self.inner
+        let mut banned: Vec<NodeId> = self
+            .inner
             .lock()
             .iter()
             .filter_map(|(&n, s)| matches!(s, NodeState::Banned { .. }).then_some(n))
-            .collect()
+            .collect();
+        banned.sort_unstable();
+        banned
     }
 }
 
@@ -284,6 +290,87 @@ mod tests {
         assert!(!fd.is_available(N1));
         fd.probe_result(N1, true);
         assert!(fd.is_available(N1));
+    }
+
+    #[test]
+    fn flapping_node_stays_banned_until_probe_succeeds() {
+        // A node oscillating around the success-ratio threshold: once
+        // banned, windows of perfect successes must NOT readmit it — only
+        // an asynchronous probe can ("once marked down the node is
+        // considered online only when an asynchronous thread is able to
+        // contact it again"). Ratio alone never re-enters the preference
+        // list.
+        let clock = SimClock::new();
+        let fd = detector(&clock);
+        // Flap below threshold: 7/10 = 0.7 < 0.8 → banned.
+        for _ in 0..7 {
+            fd.record_success(N1);
+        }
+        for _ in 0..3 {
+            fd.record_failure(N1);
+        }
+        assert!(!fd.is_available(N1));
+        let banned_at = fd.banned_since(N1).unwrap();
+
+        // The node "recovers" and flaps healthy for many windows: floods
+        // of successes, window expiries, failed probes in between.
+        for window in 0..5 {
+            clock.advance(Duration::from_secs(11)); // window expiry
+            for _ in 0..50 {
+                fd.record_success(N1); // would be 100% ratio if trusted
+            }
+            assert!(
+                !fd.is_available(N1),
+                "window {window}: ratio alone readmitted a banned node"
+            );
+            assert_eq!(
+                fd.banned_since(N1),
+                Some(banned_at),
+                "ban epoch must be stable across windows"
+            );
+            // The async prober fires but the node answers sick.
+            for node in fd.nodes_due_for_probe() {
+                fd.probe_result(node, false);
+            }
+            assert!(!fd.is_available(N1), "failed probe keeps the ban");
+        }
+
+        // Only a successful async probe restores it.
+        clock.advance(Duration::from_secs(5));
+        assert_eq!(fd.nodes_due_for_probe(), vec![N1]);
+        fd.probe_result(N1, true);
+        assert!(fd.is_available(N1));
+        assert!(fd.banned_since(N1).is_none());
+
+        // And the restored window is fresh: it takes min_samples new
+        // observations to re-ban the still-flapping node.
+        for _ in 0..9 {
+            fd.record_failure(N1);
+        }
+        assert!(fd.is_available(N1), "fresh window, ratio not yet trusted");
+        fd.record_failure(N1);
+        assert!(!fd.is_available(N1), "flapped straight back out");
+    }
+
+    #[test]
+    fn probe_and_ban_listings_are_sorted() {
+        let clock = SimClock::new();
+        let fd = detector(&clock);
+        // Ban a spread of nodes in scrambled insertion order.
+        for id in [9u16, 3, 7, 1, 5] {
+            for _ in 0..10 {
+                fd.record_failure(NodeId(id));
+            }
+        }
+        assert_eq!(
+            fd.banned_nodes(),
+            vec![NodeId(1), NodeId(3), NodeId(5), NodeId(7), NodeId(9)]
+        );
+        clock.advance(Duration::from_secs(5));
+        assert_eq!(
+            fd.nodes_due_for_probe(),
+            vec![NodeId(1), NodeId(3), NodeId(5), NodeId(7), NodeId(9)]
+        );
     }
 
     #[test]

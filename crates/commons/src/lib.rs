@@ -19,6 +19,9 @@
 //! * [`sim`] — a deterministic in-process cluster harness: virtual clock,
 //!   lossy/partitionable network, crashable nodes. All protocol state
 //!   machines are exercised through it.
+//! * [`chaos`] — the seeded chaos scheduler over [`sim`]: generates whole
+//!   fault schedules from a `u64` seed, records replayable event traces,
+//!   and reports invariant violations with a one-line repro.
 //! * [`md5`], [`crc32`], [`fnv`], [`varint`] — the low-level codecs the
 //!   paper's systems assume (MD5-keyed read-only indexes, CRC-framed log
 //!   entries, hash routing, compact integer framing).
@@ -30,6 +33,7 @@
 #![warn(missing_docs)]
 
 pub mod bufio;
+pub mod chaos;
 pub mod clock;
 pub mod compress;
 pub mod crc32;

@@ -124,6 +124,10 @@ struct NetState {
     /// Partition group of each node; nodes in different groups can't talk.
     /// Empty map = fully connected.
     partition_group: HashMap<NodeId, u32>,
+    /// Directed links that are blocked (asymmetric partitions): `(from,
+    /// to)` present means `from` cannot reach `to`, while `to -> from` may
+    /// still work — the one-way failure mode real switches produce.
+    blocked_links: HashSet<(NodeId, NodeId)>,
     rng: StdRng,
 }
 
@@ -149,6 +153,7 @@ impl SimNetwork {
                 drop_probability: 0.0,
                 down: HashSet::new(),
                 partition_group: HashMap::new(),
+                blocked_links: HashSet::new(),
                 rng: StdRng::seed_from_u64(seed),
             })),
         }
@@ -202,6 +207,29 @@ impl SimNetwork {
         self.state.lock().partition_group.clear();
     }
 
+    /// Blocks the directed link `from -> to` (asymmetric partition):
+    /// deliveries that way fail with [`NetError::Partitioned`] while the
+    /// reverse direction is unaffected.
+    pub fn block_link(&self, from: NodeId, to: NodeId) {
+        self.state.lock().blocked_links.insert((from, to));
+    }
+
+    /// Unblocks the directed link `from -> to`.
+    pub fn unblock_link(&self, from: NodeId, to: NodeId) {
+        self.state.lock().blocked_links.remove(&(from, to));
+    }
+
+    /// Clears all link, partition, loss, and latency faults in one step
+    /// (the chaos scheduler's quiesce). Downed nodes are *not* restarted —
+    /// crash state belongs to whoever crashed them.
+    pub fn heal_all(&self) {
+        let mut state = self.state.lock();
+        state.partition_group.clear();
+        state.blocked_links.clear();
+        state.drop_probability = 0.0;
+        state.link_latency.clear();
+    }
+
     /// Attempts a delivery `from -> to`; on success returns the simulated
     /// one-way latency (the caller decides whether to sleep or account it
     /// against a virtual clock).
@@ -216,6 +244,9 @@ impl SimNetwork {
         ) {
             (Some(a), Some(b)) if a != b => return Err(NetError::Partitioned),
             _ => {}
+        }
+        if state.blocked_links.contains(&(from, to)) {
+            return Err(NetError::Partitioned);
         }
         if state.drop_probability > 0.0 {
             let roll: f64 = state.rng.random();
@@ -300,6 +331,33 @@ mod tests {
         net.partition(&[&[A], &[B]]);
         assert!(net.deliver(A, C).is_ok());
         assert!(net.deliver(C, B).is_ok());
+    }
+
+    #[test]
+    fn blocked_links_are_asymmetric() {
+        let net = SimNetwork::reliable();
+        net.block_link(A, B);
+        assert_eq!(net.deliver(A, B), Err(NetError::Partitioned));
+        assert!(net.deliver(B, A).is_ok(), "reverse direction unaffected");
+        assert!(net.deliver(A, C).is_ok(), "other links unaffected");
+        net.unblock_link(A, B);
+        assert!(net.deliver(A, B).is_ok());
+    }
+
+    #[test]
+    fn heal_all_clears_faults_but_not_crashes() {
+        let net = SimNetwork::reliable();
+        net.partition(&[&[A], &[B]]);
+        net.block_link(B, C);
+        net.set_drop_probability(1.0);
+        net.set_link_latency(A, C, Duration::from_secs(9));
+        net.crash(C);
+        net.heal_all();
+        assert!(net.deliver(A, B).is_ok());
+        assert!(net.deliver(B, A).is_ok());
+        assert_eq!(net.deliver(B, C), Err(NetError::NodeDown), "crash survives heal_all");
+        net.restart(C);
+        assert_eq!(net.deliver(A, C), Ok(Duration::ZERO), "latency override cleared");
     }
 
     #[test]

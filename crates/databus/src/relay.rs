@@ -95,6 +95,11 @@ pub struct Relay {
     source_db: String,
     max_bytes: usize,
     buffer: Mutex<Buffer>,
+    /// Serving pause (chaos hook): a paused relay keeps ingesting —
+    /// semi-sync commits stay durable — but serves nothing, like a relay
+    /// whose serving threads are stalled in GC. Consumers simply see no
+    /// progress and fall behind (possibly off the buffer).
+    paused: std::sync::atomic::AtomicBool,
     /// Monotonic counters for the source-isolation experiment: how many
     /// client reads the relay absorbed (that never touched the source DB).
     reads_served: AtomicU64,
@@ -134,6 +139,7 @@ impl Relay {
             source_db,
             max_bytes: max_bytes.max(1),
             buffer: Mutex::new(Buffer::default()),
+            paused: std::sync::atomic::AtomicBool::new(false),
             reads_served: AtomicU64::new(0),
             windows_ingested: AtomicU64::new(0),
             registry: Arc::clone(registry),
@@ -216,6 +222,9 @@ impl Relay {
         max_windows: usize,
         filter: &ServerFilter,
     ) -> Result<Vec<Window>, RelayError> {
+        if self.is_paused() {
+            return Ok(Vec::new());
+        }
         let buffer = self.buffer.lock();
         let oldest = buffer.windows.front().map_or(0, |w| w.scn);
         let newest = buffer.windows.back().map_or(0, |w| w.scn);
@@ -277,6 +286,65 @@ impl Relay {
     /// cost, independent of consumer count).
     pub fn windows_ingested(&self) -> u64 {
         self.windows_ingested.load(Ordering::Relaxed)
+    }
+
+    /// Chaos pause hook: while paused the relay ingests but serves
+    /// nothing (see the `paused` field). No-op when already in the
+    /// requested state.
+    pub fn set_paused(&self, paused: bool) {
+        self.paused.store(paused, Ordering::SeqCst);
+    }
+
+    /// Whether serving is currently paused.
+    pub fn is_paused(&self) -> bool {
+        self.paused.load(Ordering::SeqCst)
+    }
+
+    /// Chaos invariant checker — the Espresso within-key commit-order
+    /// check, phrased over the relay's buffered stream: window SCNs must
+    /// be dense and strictly increasing, and for every `(table, key)` the
+    /// etags of successive `Put` images (which Espresso sets to the commit
+    /// SCN) must be strictly increasing. A violation means a source
+    /// shipped commits out of order or a failover rewrote history.
+    pub fn verify_commit_order(&self) -> Result<(), String> {
+        let buffer = self.buffer.lock();
+        let mut last_scn: Option<Scn> = None;
+        let mut last_etag: std::collections::HashMap<(String, String), u64> =
+            std::collections::HashMap::new();
+        for window in &buffer.windows {
+            if let Some(prev) = last_scn {
+                if window.scn != prev + 1 {
+                    return Err(format!(
+                        "window scn {} after {prev}: not dense/increasing",
+                        window.scn
+                    ));
+                }
+            }
+            last_scn = Some(window.scn);
+            // Last image of each key within this window (a transaction may
+            // touch a key more than once at one SCN).
+            let mut in_window: std::collections::HashMap<(String, String), u64> =
+                std::collections::HashMap::new();
+            for change in &window.changes {
+                let li_sqlstore::Op::Put(row) = &change.op else {
+                    continue;
+                };
+                let key = (change.table.clone(), format!("{:?}", change.key));
+                in_window.insert(key, row.etag);
+            }
+            for (key, etag) in in_window {
+                if let Some(&prev) = last_etag.get(&key) {
+                    if etag <= prev {
+                        return Err(format!(
+                            "key {key:?} etag {etag} at scn {} not after {prev}",
+                            window.scn
+                        ));
+                    }
+                }
+                last_etag.insert(key, etag);
+            }
+        }
+        Ok(())
     }
 }
 

@@ -441,7 +441,7 @@ impl EspressoCluster {
 
     /// Brings a crashed node back: rejoins the cluster and rebalances. Its
     /// stale partitions re-bootstrap on the next replication pump.
-    pub fn restart_node(self: &Arc<Self>, id: NodeId) -> Result<(), EspressoError> {
+    pub fn restart_node(&self, id: NodeId) -> Result<(), EspressoError> {
         if !self.nodes.read().contains_key(&id) {
             return Err(EspressoError::Cluster(format!("unknown node {id}")));
         }
@@ -476,5 +476,20 @@ impl EspressoCluster {
             self.pump_replication()?;
         }
         Ok(())
+    }
+}
+
+/// Chaos-scheduler hooks: a crash expires the node's Helix session and
+/// fails over its masterships ([`EspressoCluster::crash_node`]); a restart
+/// rejoins and rebalances ([`EspressoCluster::restart_node`]). Errors are
+/// swallowed — the scheduler may race a node that is already gone, and a
+/// chaos run must not abort mid-schedule.
+impl li_commons::chaos::FaultHooks for EspressoCluster {
+    fn crash(&self, node: NodeId) {
+        let _ = self.crash_node(node);
+    }
+
+    fn restart(&self, node: NodeId) {
+        let _ = self.restart_node(node);
     }
 }

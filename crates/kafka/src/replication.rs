@@ -238,11 +238,89 @@ impl ReplicatedCluster {
         Ok(elections)
     }
 
-    /// Brings a broker back; it rejoins as a follower everywhere (the next
-    /// [`ReplicatedCluster::replicate`] catches it up, resetting any
-    /// divergent log).
+    /// Brings a broker back; it rejoins as a follower everywhere. Any
+    /// partition whose local log has diverged from the current leader is
+    /// reset here so the next [`ReplicatedCluster::replicate`] recopies
+    /// it from scratch. Divergence is detected by byte-prefix
+    /// fingerprint, not length: a crashed leader can rejoin with an
+    /// uncommitted tail its successor overwrote with different records
+    /// of the *same* framed length, which a length-only check (and the
+    /// high watermark, which counts this replica again the moment it is
+    /// live) would silently accept.
     pub fn recover_broker(&self, broker: u16) {
         self.down.write().remove(&broker);
+        let down = self.down.read().clone();
+        let brokers = self.cluster.brokers();
+        for ((topic, partition), replicas) in self.assignments.read().iter() {
+            if replicas.leader == broker
+                || down.contains(&replicas.leader)
+                || !replicas.followers.contains(&broker)
+            {
+                continue;
+            }
+            let Ok(local) = brokers[broker as usize].log(topic, *partition) else {
+                continue;
+            };
+            let end = local.log_end();
+            if end == 0 {
+                continue;
+            }
+            let Ok(leader_log) = brokers[replicas.leader as usize].log(topic, *partition) else {
+                continue;
+            };
+            let overlap = end.min(leader_log.log_end());
+            if end > leader_log.log_end()
+                || local.prefix_fingerprint(overlap) != leader_log.prefix_fingerprint(overlap)
+            {
+                brokers[broker as usize].reset_partition(topic, *partition);
+            }
+        }
+    }
+
+    /// Chaos invariant checker: every *live* replica of the partition
+    /// holds a byte-identical log (same end offset, same content
+    /// fingerprint). Call after pumping [`ReplicatedCluster::replicate`]
+    /// to convergence.
+    pub fn verify_replica_identity(&self, topic: &str, partition: u32) -> Result<(), String> {
+        let assignment = self
+            .assignment(topic, partition)
+            .map_err(|e| e.to_string())?;
+        let down = self.down.read().clone();
+        let brokers = self.cluster.brokers();
+        let leader_log = brokers[assignment.leader as usize]
+            .log(topic, partition)
+            .map_err(|e| e.to_string())?;
+        let (want_end, want_print) = (leader_log.log_end(), leader_log.content_fingerprint());
+        for &b in &assignment.followers {
+            if down.contains(&b) {
+                continue;
+            }
+            let log = brokers[b as usize]
+                .log(topic, partition)
+                .map_err(|e| e.to_string())?;
+            if log.log_end() != want_end || log.content_fingerprint() != want_print {
+                return Err(format!(
+                    "replica {b} of {topic}/{partition} diverges from leader {}: \
+                     end {} vs {want_end}, fingerprint {:#x} vs {want_print:#x}",
+                    assignment.leader,
+                    log.log_end(),
+                    log.content_fingerprint()
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Chaos-scheduler hooks: a crash fails the broker (triggering
+/// longest-log leader elections), a restart recovers it as a follower.
+impl li_commons::chaos::FaultHooks for ReplicatedCluster {
+    fn crash(&self, node: li_commons::ring::NodeId) {
+        let _ = self.fail_broker(node.0);
+    }
+
+    fn restart(&self, node: li_commons::ring::NodeId) {
+        self.recover_broker(node.0);
     }
 }
 
@@ -341,6 +419,33 @@ mod tests {
         let b = c.brokers()[new_leader as usize].log("t", 0).unwrap().log_end();
         assert_eq!(a, b, "divergent replica reset to leader's history");
         assert_eq!(payloads(&rc, 0), vec!["base", "new-era"]);
+    }
+
+    #[test]
+    fn equal_length_divergent_tail_detected_on_rejoin() {
+        // Found by the chaos harness: the old leader's uncommitted tail
+        // and the new leader's first write can have the *same* framed
+        // length, so a length-only divergence check lets the stale
+        // replica rejoin, count toward the high watermark, and win a
+        // later longest-log election with bytes no consumer ever saw.
+        let (c, rc) = replicated();
+        rc.produce("t", 0, &MessageSet::from_payloads(["base"])).unwrap();
+        rc.replicate().unwrap();
+        let old_leader = rc.leader_of("t", 0).unwrap();
+        rc.produce("t", 0, &MessageSet::from_payloads(["AAAA"])).unwrap();
+        rc.fail_broker(old_leader).unwrap();
+        // Same framed length, different bytes.
+        rc.produce("t", 0, &MessageSet::from_payloads(["BBBB"])).unwrap();
+        rc.replicate().unwrap();
+        let new_leader = rc.leader_of("t", 0).unwrap();
+        let leader_end = c.brokers()[new_leader as usize].log("t", 0).unwrap().log_end();
+        let stale_end = c.brokers()[old_leader as usize].log("t", 0).unwrap().log_end();
+        assert_eq!(leader_end, stale_end, "precondition: equal lengths, divergent bytes");
+
+        rc.recover_broker(old_leader);
+        rc.replicate().unwrap();
+        rc.verify_replica_identity("t", 0).unwrap();
+        assert_eq!(payloads(&rc, 0), vec!["base", "BBBB"]);
     }
 
     #[test]

@@ -471,6 +471,52 @@ impl Database {
         Ok(())
     }
 
+    /// Deterministic fingerprint of all table contents (FNV-1a over table
+    /// names, keys, and full row images in sorted order). Two databases
+    /// with the same fingerprint hold identical visible state — the
+    /// comparison primitive behind the chaos harness's replica-convergence
+    /// and binlog-replay-equivalence invariants.
+    pub fn state_fingerprint(&self) -> u64 {
+        let state = self.state.lock();
+        let mut names: Vec<&String> = state.tables.keys().collect();
+        names.sort();
+        let mut bytes = Vec::new();
+        for name in names {
+            bytes.extend_from_slice(name.as_bytes());
+            bytes.push(0);
+            let table = &state.tables[name];
+            for (key, row) in table.iter() {
+                for part in &key.0 {
+                    bytes.extend_from_slice(part.as_bytes());
+                    bytes.push(0);
+                }
+                bytes.push(1);
+                bytes.extend_from_slice(&row.value);
+                bytes.extend_from_slice(&row.schema_version.to_le_bytes());
+                bytes.extend_from_slice(&row.etag.to_le_bytes());
+                bytes.extend_from_slice(&row.timestamp.to_le_bytes());
+            }
+        }
+        li_commons::fnv::fnv1a(&bytes)
+    }
+
+    /// Chaos invariant checker — binlog replay equivalence: recovering a
+    /// fresh database from this one's serialized binlog must reproduce the
+    /// exact table state. Holds only for databases whose every change went
+    /// through [`Database::commit`] (a slave applying via
+    /// [`Database::apply_changes`] has no binlog of its own).
+    pub fn verify_replay_equivalence(&self) -> Result<(), String> {
+        let replayed = Database::recover(self.name.clone(), &self.binlog_bytes());
+        let (got, want) = (replayed.state_fingerprint(), self.state_fingerprint());
+        if got != want {
+            return Err(format!(
+                "binlog replay of `{}` diverged: fingerprint {got:#x} != live {want:#x}",
+                self.name
+            ));
+        }
+        Ok(())
+    }
+
     /// Rebuilds a database (tables + state) by replaying a serialized
     /// binlog — crash recovery. Tables named in the log are auto-created.
     pub fn recover(name: impl Into<String>, binlog_bytes: &[u8]) -> Self {

@@ -247,7 +247,10 @@ impl VoldemortCluster {
     pub fn deliver_hints(&self) -> usize {
         let mut delivered = 0;
         let targets: Vec<NodeId> = self.node_ids();
-        let holders: Vec<Arc<VoldemortNode>> = self.nodes.read().values().cloned().collect();
+        // Sorted so replay order (and any RNG the network consumes per
+        // delivery) is deterministic run-to-run.
+        let mut holders: Vec<Arc<VoldemortNode>> = self.nodes.read().values().cloned().collect();
+        holders.sort_by_key(|n| n.id());
         for holder in &holders {
             for &target in &targets {
                 if target == holder.id() {
@@ -367,6 +370,29 @@ impl VoldemortCluster {
             moved.push(partition);
         }
         Ok(moved)
+    }
+}
+
+/// Chaos-scheduler hooks. Voldemort's failure surface is entirely the
+/// network: a crash makes the node unreachable (its storage survives —
+/// the paper's nodes recover with their BDB intact), and a pause is
+/// modeled the same way (a GC-paused node is indistinguishable from a
+/// dead one to its peers).
+impl li_commons::chaos::FaultHooks for VoldemortCluster {
+    fn crash(&self, node: NodeId) {
+        self.network.crash(node);
+    }
+
+    fn restart(&self, node: NodeId) {
+        self.network.restart(node);
+    }
+
+    fn pause(&self, node: NodeId) {
+        self.network.crash(node);
+    }
+
+    fn resume(&self, node: NodeId) {
+        self.network.restart(node);
     }
 }
 

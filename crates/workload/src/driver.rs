@@ -2,7 +2,7 @@
 
 use li_commons::hist::Histogram;
 use li_commons::metrics::MetricsScope;
-use rand::Rng;
+use rand::{Rng, SeedableRng};
 
 use crate::keys::KeyDistribution;
 
@@ -61,6 +61,15 @@ impl MixedWorkload {
     /// Generates a whole stream.
     pub fn ops(&self, rng: &mut impl Rng, count: usize) -> Vec<Operation> {
         (0..count).map(|_| self.next_op(rng)).collect()
+    }
+
+    /// Deterministic op stream: the same `(workload, seed, count)` always
+    /// yields the same operations. This is the chaos harness's workload
+    /// source — op streams must be a pure function of the run seed so a
+    /// failing run replays byte-for-byte.
+    pub fn ops_seeded(&self, seed: u64, count: usize) -> Vec<Operation> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        self.ops(&mut rng, count)
     }
 
     /// Number of distinct keys in the space.
@@ -134,6 +143,16 @@ mod tests {
         assert!(reads.iter().all(|o| matches!(o, Operation::Read(_))));
         let writes = MixedWorkload::new(0.0, KeyDistribution::uniform(10), 1).ops(&mut rng, 100);
         assert!(writes.iter().all(|o| matches!(o, Operation::Write(_, _))));
+    }
+
+    #[test]
+    fn seeded_ops_are_deterministic() {
+        let workload = MixedWorkload::sixty_forty(KeyDistribution::uniform(100), 64);
+        assert_eq!(workload.ops_seeded(9, 500), workload.ops_seeded(9, 500));
+        assert_ne!(workload.ops_seeded(9, 500), workload.ops_seeded(10, 500));
+        // A prefix of a longer stream is the shorter stream.
+        let long = workload.ops_seeded(9, 500);
+        assert_eq!(&long[..100], &workload.ops_seeded(9, 100)[..]);
     }
 
     #[test]

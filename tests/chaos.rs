@@ -1,0 +1,625 @@
+//! Deterministic chaos scenarios: every system under a seeded fault
+//! schedule, checked against cross-system invariants at quiesce.
+//!
+//! Each scenario is a pure function of its seed: the [`ChaosScheduler`]
+//! owns the run's `SimClock` and seeded `SimNetwork`, the workload is a
+//! deterministic op stream, and no code on the chaos path consults the
+//! wall clock or OS RNG. A failing run prints a one-line repro
+//! (`CHAOS_SEED=<seed> cargo test --test chaos <scenario>`) plus the
+//! event trace; re-running with that seed reproduces the run byte for
+//! byte (asserted by `same_seed_yields_byte_identical_traces` below, and
+//! exercised end-to-end by the planted-violation test).
+//!
+//! Default sweep is 5 seeds per scenario; CI widens it with
+//! `CHAOS_SEEDS=20` and a repro pins one with `CHAOS_SEED=<n>`.
+
+use bytes::Bytes;
+use li_commons::chaos::{
+    sweep_seeds, ChaosConfig, ChaosFailure, ChaosScheduler, NetworkOnlyHooks,
+};
+use li_commons::clock::VectorClock;
+use li_commons::ring::{HashRing, NodeId, PartitionId};
+use li_commons::schema::{Field, FieldType, Record, RecordSchema, Value};
+use li_espresso::{DatabaseSchema, EspressoCluster, TableSchema};
+use li_kafka::mirror::MirrorMaker;
+use li_kafka::{KafkaCluster, MessageSet, ReplicatedCluster};
+use li_sqlstore::{Database, RowKey};
+use li_voldemort::{StoreDef, VoldemortCluster};
+use std::sync::Arc;
+use std::time::Duration;
+
+// ---------------------------------------------------------------------
+// Scenario 1: Voldemort quorum durability under the full fault menu.
+// ---------------------------------------------------------------------
+
+/// Drives a 5-node Voldemort cluster (N=3, R=2, W=2) through a seeded
+/// fault schedule of crashes, partitions, asymmetric link blocks, drop
+/// bursts, slow links and clock-skew bursts. Invariant: after quiesce +
+/// recovery (probes, hinted handoff), every acknowledged write is still
+/// readable and covered by a surviving version's clock.
+///
+/// With `plant_violation`, an acked key is deleted behind the client's
+/// back after recovery — the harness must catch it and print a repro.
+fn run_voldemort_quorum(seed: u64, plant_violation: bool) -> Result<String, ChaosFailure> {
+    let nodes: Vec<NodeId> = (0..5).map(NodeId).collect();
+    let mut sched = ChaosScheduler::new(seed, nodes.clone(), ChaosConfig::default());
+    let clock = sched.clock();
+    let ring = HashRing::balanced(16, &nodes).unwrap();
+    let cluster = VoldemortCluster::with_parts(ring, sched.network(), Arc::new(clock.clone()))
+        .unwrap();
+    cluster
+        .add_store(StoreDef::read_write("s").with_quorum(3, 2, 2))
+        .unwrap();
+    let client = cluster.client("s").unwrap();
+
+    let mut acked: Vec<(String, Bytes, VectorClock)> = Vec::new();
+    for i in 0..120u32 {
+        sched.step(&*cluster);
+        let key = format!("k{i}");
+        let value = Bytes::from(format!("v{i}"));
+        // Retry like a real app: apply_update re-reads at quorum and
+        // re-writes with a dominating clock, so a success is W acks of
+        // the *current* write. Between attempts, virtual time passes and
+        // the async recovery path (failure probes) runs.
+        for _attempt in 0..8 {
+            match client.apply_update(key.as_bytes(), 5, &|_| Some(value.clone())) {
+                Ok(write_clock) => {
+                    acked.push((key.clone(), value.clone(), write_clock));
+                    break;
+                }
+                Err(_) => {
+                    clock.advance(Duration::from_secs(6));
+                    cluster.run_failure_probes();
+                    sched.step(&*cluster);
+                }
+            }
+        }
+        if i % 20 == 0 {
+            sched.note(format!("op {i}: acked_total={}", acked.len()));
+        }
+    }
+
+    sched.quiesce(&*cluster);
+    // Drain the recovery machinery: readmit banned nodes, replay hints.
+    for _ in 0..40 {
+        clock.advance(Duration::from_secs(6));
+        cluster.run_failure_probes();
+        cluster.deliver_hints();
+        if cluster.pending_hints() == 0 && cluster.detector().banned_nodes().is_empty() {
+            break;
+        }
+    }
+    sched.note(format!(
+        "drained: acked={} pending_hints={} banned={:?}",
+        acked.len(),
+        cluster.pending_hints(),
+        cluster.detector().banned_nodes()
+    ));
+
+    if plant_violation {
+        // Delete the first acked key on every node with a clock that
+        // dominates anything the run could have produced — simulating a
+        // durability bug the invariant checker must catch.
+        if let Some((key, _, write_clock)) = acked.first() {
+            let mut dominating = write_clock.clone();
+            for writer in [0u16, 1, 2, 3, 4, u16::MAX] {
+                for _ in 0..50 {
+                    dominating.increment(writer);
+                }
+            }
+            for id in cluster.node_ids() {
+                let _ = cluster.node(id).unwrap().delete("s", key.as_bytes(), &dominating);
+            }
+            sched.note(format!("PLANT: deleted acked key `{key}` on every replica"));
+        }
+    }
+
+    let durability = || -> Result<(), String> {
+        for (key, value, write_clock) in &acked {
+            let siblings = client
+                .get(key.as_bytes())
+                .map_err(|e| format!("read of acked `{key}` failed: {e}"))?;
+            if siblings.is_empty() {
+                return Err(format!("acked key `{key}` unreadable (write lost)"));
+            }
+            if !siblings.iter().any(|v| v.clock.descends_from(write_clock)) {
+                return Err(format!(
+                    "acked write to `{key}` not covered by any surviving version"
+                ));
+            }
+            if let Some(v) = siblings.iter().find(|v| v.clock == *write_clock) {
+                if v.value != *value {
+                    return Err(format!("acked key `{key}` returned wrong bytes"));
+                }
+            }
+        }
+        Ok(())
+    };
+    let hints_drained = || -> Result<(), String> {
+        match cluster.pending_hints() {
+            0 => Ok(()),
+            n => Err(format!("{n} hints still pending after recovery")),
+        }
+    };
+    sched.check(
+        &[
+            ("quorum-durability", &durability),
+            ("hints-drained", &hints_drained),
+        ],
+        "cargo test --test chaos voldemort",
+    )?;
+    Ok(sched.trace_text())
+}
+
+#[test]
+fn chaos_sweep_voldemort_quorum() {
+    for seed in sweep_seeds(5) {
+        if let Err(failure) = run_voldemort_quorum(seed, false) {
+            panic!("{failure}");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Scenario 2: Espresso mastership failover + commit-order.
+// ---------------------------------------------------------------------
+
+fn tiny_music(partitions: u32, replication: usize) -> DatabaseSchema {
+    DatabaseSchema::new("Music", partitions, replication)
+        .with_table(
+            TableSchema::new("Album", ["artist", "album"]),
+            RecordSchema::new("Album", 1, vec![Field::new("year", FieldType::Long)]).unwrap(),
+        )
+        .unwrap()
+}
+
+/// Drives a 3-node Espresso cluster (6 partitions, replication 2)
+/// through crash/restart storms (hooks-only faults — Espresso's routing
+/// is Helix state, not the SimNetwork). Invariants at quiesce: every
+/// acknowledged document readable with its committed value, at most one
+/// master per partition, and every relay's change stream in strict
+/// commit (SCN) order with no per-key etag regressions.
+fn run_espresso_failover(seed: u64) -> Result<String, ChaosFailure> {
+    let nodes: Vec<NodeId> = (0..3).map(NodeId).collect();
+    let mut config = ChaosConfig::hooks_only();
+    config.max_down = 1;
+    let mut sched = ChaosScheduler::new(seed, nodes, config);
+    let cluster = EspressoCluster::new(3).unwrap();
+    cluster.create_database(tiny_music(6, 2)).unwrap();
+    let album = |year: i64| Record::new().with("year", Value::Long(year));
+
+    let mut acked: Vec<(RowKey, i64)> = Vec::new();
+    for i in 0..120u64 {
+        sched.step(&*cluster);
+        let key = RowKey::new([format!("artist-{}", i % 7), format!("album-{i}")]);
+        let year = 1990 + i as i64;
+        match cluster.put("Music", "Album", key.clone(), &album(year)) {
+            Ok(_etag) => acked.push((key, year)),
+            Err(_) => sched.note(format!("put {i} rejected (no live master)")),
+        }
+        if i % 5 == 0 {
+            let _ = cluster.pump_replication();
+        }
+        if i % 20 == 0 {
+            sched.note(format!("op {i}: acked_total={}", acked.len()));
+        }
+    }
+
+    sched.quiesce(&*cluster);
+    for _ in 0..4 {
+        let _ = cluster.pump_replication();
+    }
+    sched.note(format!("drained: acked={}", acked.len()));
+
+    let readable = || -> Result<(), String> {
+        for (key, year) in &acked {
+            let got = cluster
+                .get("Music", "Album", key)
+                .map_err(|e| format!("read of acked {key:?} failed: {e}"))?;
+            let Some((record, _row)) = got else {
+                return Err(format!("acked document {key:?} lost"));
+            };
+            if record.get("year") != Some(&Value::Long(*year)) {
+                return Err(format!("acked document {key:?} has wrong value"));
+            }
+        }
+        Ok(())
+    };
+    let single_master = || -> Result<(), String> {
+        let view = cluster
+            .controller()
+            .external_view("Music")
+            .map_err(|e| format!("no external view: {e}"))?;
+        for p in 0..6 {
+            let masters: Vec<NodeId> = view
+                .partitions
+                .get(&PartitionId(p))
+                .map(|states| {
+                    states
+                        .iter()
+                        .filter(|(_, &s)| s == li_helix::ReplicaState::Master)
+                        .map(|(&n, _)| n)
+                        .collect()
+                })
+                .unwrap_or_default();
+            if masters.len() > 1 {
+                return Err(format!("partition {p} has multiple masters {masters:?}"));
+            }
+        }
+        Ok(())
+    };
+    let commit_order = || -> Result<(), String> {
+        for i in 0..3u16 {
+            cluster
+                .relay(NodeId(i))
+                .map_err(|e| format!("relay {i}: {e}"))?
+                .verify_commit_order()
+                .map_err(|e| format!("relay {i}: {e}"))?;
+        }
+        Ok(())
+    };
+    sched.check(
+        &[
+            ("acked-docs-readable", &readable),
+            ("single-master-per-partition", &single_master),
+            ("relay-commit-order", &commit_order),
+        ],
+        "cargo test --test chaos espresso",
+    )?;
+    Ok(sched.trace_text())
+}
+
+#[test]
+fn chaos_sweep_espresso_failover() {
+    for seed in sweep_seeds(5) {
+        if let Err(failure) = run_espresso_failover(seed) {
+            panic!("{failure}");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Scenario 3: Kafka replication + mirroring byte-identity.
+// ---------------------------------------------------------------------
+
+/// Drives a 3-broker replicated Kafka cluster (3 partitions, RF=3)
+/// through broker fail/recover cycles while producing, replicating and
+/// consuming committed offsets — plus a live→offline MirrorMaker pair
+/// pumping in the background. Invariants at quiesce: every log passes
+/// the CRC frame walk with contiguous offsets, all replicas of each
+/// partition are byte-identical to the leader, committed reads were
+/// never rolled back, and the mirror target is byte-identical to its
+/// source.
+fn run_kafka_replication_and_mirror(seed: u64) -> Result<String, ChaosFailure> {
+    let nodes: Vec<NodeId> = (0..3).map(NodeId).collect();
+    let mut config = ChaosConfig::hooks_only();
+    config.max_down = 1;
+    let mut sched = ChaosScheduler::new(seed, nodes, config);
+    let live = KafkaCluster::new(3).unwrap();
+    let replicated = ReplicatedCluster::new(live.clone());
+    replicated.create_topic("events", 3, 3).unwrap();
+    // The paper's live→offline pipeline: a mirror pair on the side.
+    let source = KafkaCluster::new(1).unwrap();
+    let target = KafkaCluster::new(1).unwrap();
+    source.create_topic("tracking", 2).unwrap();
+    target.create_topic("tracking", 2).unwrap();
+    let mirror = MirrorMaker::new(source.clone(), target.clone(), ["tracking"]).unwrap();
+
+    // Committed consumer state per partition: (byte offset, payload).
+    let mut consumed: Vec<Vec<(u64, Bytes)>> = vec![Vec::new(); 3];
+    let mut next_offset = [0u64; 3];
+    let mut produced_ok = 0u64;
+    for i in 0..150u64 {
+        sched.step(&replicated);
+        let partition = (i % 3) as u32;
+        let set = MessageSet::from_payloads([format!("m{i}")]);
+        if replicated.produce("events", partition, &set).is_ok() {
+            produced_ok += 1;
+        }
+        source
+            .broker_for("tracking", (i % 2) as u32)
+            .unwrap()
+            .produce("tracking", (i % 2) as u32, &set)
+            .unwrap();
+        if i % 4 == 0 {
+            let _ = replicated.replicate();
+        }
+        if i % 7 == 0 {
+            let _ = mirror.pump();
+        }
+        let p = partition as usize;
+        if let Ok((messages, next)) =
+            replicated.fetch_committed("events", partition, next_offset[p], usize::MAX)
+        {
+            for (offset, message) in messages {
+                consumed[p].push((offset, message.payload.clone()));
+            }
+            next_offset[p] = next;
+        }
+        if i % 30 == 0 {
+            sched.note(format!("op {i}: produced_ok={produced_ok}"));
+        }
+    }
+
+    sched.quiesce(&replicated);
+    for _ in 0..10 {
+        if replicated.replicate().unwrap() == 0 {
+            break;
+        }
+    }
+    mirror.pump().unwrap();
+    sched.note(format!(
+        "drained: produced_ok={produced_ok} consumed={:?}",
+        consumed.iter().map(Vec::len).collect::<Vec<_>>()
+    ));
+
+    let contiguity = || -> Result<(), String> {
+        for broker in 0..3usize {
+            for p in 0..3u32 {
+                live.brokers()[broker]
+                    .log("events", p)
+                    .map_err(|e| format!("broker {broker} events/{p}: {e}"))?
+                    .verify_contiguity()
+                    .map_err(|e| format!("broker {broker} events/{p}: {e}"))?;
+            }
+        }
+        for (name, cluster) in [("source", &source), ("target", &target)] {
+            for p in 0..2u32 {
+                cluster.brokers()[0]
+                    .log("tracking", p)
+                    .map_err(|e| format!("{name} tracking/{p}: {e}"))?
+                    .verify_contiguity()
+                    .map_err(|e| format!("{name} tracking/{p}: {e}"))?;
+            }
+        }
+        Ok(())
+    };
+    let replica_identity = || -> Result<(), String> {
+        for p in 0..3u32 {
+            replicated.verify_replica_identity("events", p)?;
+        }
+        Ok(())
+    };
+    let committed_stable = || -> Result<(), String> {
+        // Nothing a consumer saw below the high watermark may have been
+        // rolled back: re-fetching from 0 must replay the same bytes at
+        // the same offsets.
+        for p in 0..3u32 {
+            let (all, _) = replicated
+                .fetch_committed("events", p, 0, usize::MAX)
+                .map_err(|e| format!("refetch events/{p}: {e}"))?;
+            for (offset, payload) in &consumed[p as usize] {
+                let found = all.iter().find(|(o, _)| o == offset);
+                match found {
+                    Some((_, message)) if message.payload == *payload => {}
+                    Some(_) => {
+                        return Err(format!(
+                            "events/{p} offset {offset}: committed read changed bytes"
+                        ))
+                    }
+                    None => {
+                        return Err(format!(
+                            "events/{p} offset {offset}: committed read rolled back"
+                        ))
+                    }
+                }
+            }
+        }
+        Ok(())
+    };
+    let mirror_identity = || -> Result<(), String> {
+        for p in 0..2u32 {
+            let src = source.brokers()[0]
+                .log("tracking", p)
+                .map_err(|e| e.to_string())?
+                .content_fingerprint();
+            let dst = target.brokers()[0]
+                .log("tracking", p)
+                .map_err(|e| e.to_string())?
+                .content_fingerprint();
+            if src != dst {
+                return Err(format!(
+                    "tracking/{p}: mirror target diverged from source ({src:#x} != {dst:#x})"
+                ));
+            }
+        }
+        Ok(())
+    };
+    sched.check(
+        &[
+            ("log-contiguity", &contiguity),
+            ("replica-byte-identity", &replica_identity),
+            ("committed-reads-stable", &committed_stable),
+            ("mirror-byte-identity", &mirror_identity),
+        ],
+        "cargo test --test chaos kafka",
+    )?;
+    Ok(sched.trace_text())
+}
+
+#[test]
+fn chaos_sweep_kafka_replication_and_mirror() {
+    for seed in sweep_seeds(5) {
+        if let Err(failure) = run_kafka_replication_and_mirror(seed) {
+            panic!("{failure}");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Scenario 4: sqlstore binlog replication equivalence.
+// ---------------------------------------------------------------------
+
+/// A primary database with two binlog-pulling replicas. Crashed
+/// replicas stop applying; on restart they resume from their applied
+/// SCN. Invariants at quiesce: both replicas converge to the primary's
+/// exact state fingerprint, and recovering a fresh database from the
+/// primary's binlog bytes reproduces that same state (replay
+/// equivalence).
+fn run_sqlstore_replication(seed: u64) -> Result<String, ChaosFailure> {
+    let nodes: Vec<NodeId> = (0..3).map(NodeId).collect();
+    let mut config = ChaosConfig::hooks_only();
+    config.max_down = 2;
+    let mut sched = ChaosScheduler::new(seed, nodes, config);
+    let clock: Arc<dyn li_commons::sim::Clock> = Arc::new(sched.clock());
+    let primary = Database::with_clock("member_db", clock);
+    primary.create_table("members").unwrap();
+    let replicas = [Database::new("replica-1"), Database::new("replica-2")];
+    for replica in &replicas {
+        replica.create_table("members").unwrap();
+    }
+
+    let hooks = NetworkOnlyHooks;
+    for i in 0..200u64 {
+        sched.step(&hooks);
+        let mut txn = primary.begin();
+        txn.put(
+            "members",
+            RowKey::new([format!("m{}", i % 40)]),
+            Bytes::from(format!("profile-{i}")),
+            1,
+        );
+        if i % 3 == 0 {
+            txn.put(
+                "members",
+                RowKey::new([format!("m{}", (i + 1) % 40)]),
+                Bytes::from(format!("side-effect-{i}")),
+                1,
+            );
+        }
+        if i % 17 == 0 {
+            txn.delete("members", RowKey::new([format!("m{}", i % 40)]));
+        }
+        primary.commit(txn).unwrap();
+        // Replica r rides on chaos node r+1 (node 0 is the primary);
+        // while "crashed" it stops pulling the binlog.
+        for (r, replica) in replicas.iter().enumerate() {
+            let node = NodeId((r + 1) as u16);
+            if sched.crashed_nodes().contains(&node) {
+                continue;
+            }
+            for entry in primary.binlog_after(replica.applied_scn()) {
+                replica.apply_replicated(&entry).unwrap();
+            }
+        }
+        if i % 40 == 0 {
+            sched.note(format!(
+                "op {i}: primary_scn={} replica_scns=[{}, {}]",
+                primary.last_scn(),
+                replicas[0].applied_scn(),
+                replicas[1].applied_scn()
+            ));
+        }
+    }
+
+    sched.quiesce(&hooks);
+    for replica in &replicas {
+        for entry in primary.binlog_after(replica.applied_scn()) {
+            replica.apply_replicated(&entry).unwrap();
+        }
+    }
+    sched.note(format!(
+        "drained: primary_scn={} fingerprint={:#x}",
+        primary.last_scn(),
+        primary.state_fingerprint()
+    ));
+
+    let replicas_converge = || -> Result<(), String> {
+        let want = primary.state_fingerprint();
+        for (r, replica) in replicas.iter().enumerate() {
+            let got = replica.state_fingerprint();
+            if got != want {
+                return Err(format!(
+                    "replica {r} state {got:#x} != primary {want:#x} \
+                     (applied_scn {} vs last_scn {})",
+                    replica.applied_scn(),
+                    primary.last_scn()
+                ));
+            }
+        }
+        Ok(())
+    };
+    let replay_equivalence = || primary.verify_replay_equivalence();
+    let recover_matches = || -> Result<(), String> {
+        let recovered = Database::recover("member_db", &primary.binlog_bytes());
+        if recovered.state_fingerprint() != primary.state_fingerprint() {
+            return Err("recovered-from-binlog state diverges from primary".to_string());
+        }
+        Ok(())
+    };
+    sched.check(
+        &[
+            ("replicas-converge", &replicas_converge),
+            ("binlog-replay-equivalence", &replay_equivalence),
+            ("recover-matches-primary", &recover_matches),
+        ],
+        "cargo test --test chaos sqlstore",
+    )?;
+    Ok(sched.trace_text())
+}
+
+#[test]
+fn chaos_sweep_sqlstore_replication() {
+    for seed in sweep_seeds(5) {
+        if let Err(failure) = run_sqlstore_replication(seed) {
+            panic!("{failure}");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The determinism contract, asserted.
+// ---------------------------------------------------------------------
+
+/// Running the same `(seed, scenario)` twice produces byte-identical
+/// event traces — the property every repro line depends on.
+#[test]
+fn same_seed_yields_byte_identical_traces() {
+    for seed in [7u64, 23] {
+        let a = run_voldemort_quorum(seed, false).unwrap_or_else(|f| panic!("{f}"));
+        let b = run_voldemort_quorum(seed, false).unwrap_or_else(|f| panic!("{f}"));
+        assert_eq!(a, b, "voldemort trace diverged for seed {seed}");
+        assert!(!a.is_empty());
+    }
+    let a = run_espresso_failover(11).unwrap_or_else(|f| panic!("{f}"));
+    let b = run_espresso_failover(11).unwrap_or_else(|f| panic!("{f}"));
+    assert_eq!(a, b, "espresso trace diverged");
+    let a = run_kafka_replication_and_mirror(11).unwrap_or_else(|f| panic!("{f}"));
+    let b = run_kafka_replication_and_mirror(11).unwrap_or_else(|f| panic!("{f}"));
+    assert_eq!(a, b, "kafka trace diverged");
+    let a = run_sqlstore_replication(11).unwrap_or_else(|f| panic!("{f}"));
+    let b = run_sqlstore_replication(11).unwrap_or_else(|f| panic!("{f}"));
+    assert_eq!(a, b, "sqlstore trace diverged");
+}
+
+/// A deliberately planted invariant violation is caught, reported with
+/// a `CHAOS_SEED=` repro line, and reproduces exactly when the seed is
+/// parsed back out of that line and re-run.
+#[test]
+fn planted_violation_is_caught_and_reproduces_from_printed_seed() {
+    let failure = run_voldemort_quorum(4242, true)
+        .expect_err("planted durability violation must be caught");
+    let message = failure.to_string();
+    assert!(
+        message.contains("invariant `quorum-durability` violated"),
+        "unexpected report:\n{message}"
+    );
+    assert!(
+        message.contains("CHAOS_SEED=4242 cargo test --test chaos voldemort"),
+        "missing repro line:\n{message}"
+    );
+    assert!(message.contains("PLANT: deleted acked key"), "trace missing:\n{message}");
+
+    // Act like an engineer reading the failure: parse the seed out of
+    // the printed repro line and re-run. The violation must reproduce
+    // with the identical trace.
+    let seed: u64 = message
+        .split("CHAOS_SEED=")
+        .nth(1)
+        .and_then(|rest| rest.split_whitespace().next())
+        .and_then(|s| s.parse().ok())
+        .expect("repro line carries a parseable seed");
+    let again = run_voldemort_quorum(seed, true).expect_err("repro run must fail identically");
+    assert_eq!(failure.violations, again.violations);
+    assert_eq!(failure.trace, again.trace);
+}

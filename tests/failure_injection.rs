@@ -7,7 +7,7 @@
 use bytes::Bytes;
 use li_commons::ring::{HashRing, NodeId, PartitionId};
 use li_commons::schema::{Field, FieldType, Record, RecordSchema, Value};
-use li_commons::sim::{RealClock, SimNetwork};
+use li_commons::sim::{SimClock, SimNetwork};
 use li_espresso::{DatabaseSchema, EspressoCluster, TableSchema};
 use li_sqlstore::RowKey;
 use li_voldemort::{StoreDef, VoldemortCluster};
@@ -19,7 +19,6 @@ fn voldemort_sloppy_quorum_rides_out_message_loss() {
     // below the failure detector's ban threshold): W=2-of-3 with hinted
     // handoff keeps writes durable; after healing and hint delivery, all
     // acknowledged writes are readable.
-    use li_commons::sim::SimClock;
     let clock = Arc::new(SimClock::new());
     let ring = HashRing::balanced(16, &[NodeId(0), NodeId(1), NodeId(2), NodeId(3)]).unwrap();
     let network = SimNetwork::with_seed(99);
@@ -72,8 +71,10 @@ fn voldemort_sloppy_quorum_rides_out_message_loss() {
 fn voldemort_partition_blocks_quorum_then_heals() {
     let ring = HashRing::balanced(12, &[NodeId(0), NodeId(1), NodeId(2)]).unwrap();
     let network = SimNetwork::reliable();
+    // SimClock everywhere: no test may depend on wall-clock time (the
+    // determinism contract in DESIGN.md).
     let cluster =
-        VoldemortCluster::with_parts(ring, network.clone(), Arc::new(RealClock::new())).unwrap();
+        VoldemortCluster::with_parts(ring, network.clone(), Arc::new(SimClock::new())).unwrap();
     cluster
         .add_store(StoreDef::read_write("s").with_quorum(3, 2, 3))
         .unwrap();
