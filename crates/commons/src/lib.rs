@@ -25,6 +25,9 @@
 //! * [`md5`], [`crc32`], [`fnv`], [`varint`] — the low-level codecs the
 //!   paper's systems assume (MD5-keyed read-only indexes, CRC-framed log
 //!   entries, hash routing, compact integer framing).
+//! * [`exec`] — a bounded fan-out executor (worker pool + quorum waiter
+//!   with hedging and deadlines) behind Voldemort's parallel quorum I/O,
+//!   with a deterministic inline mode for chaos replays.
 //! * [`hist`] — a latency histogram for the benchmark harness.
 //! * [`metrics`] — the unified metrics registry (counters, gauges,
 //!   histograms) every system exports its observability through.
@@ -37,6 +40,7 @@ pub mod chaos;
 pub mod clock;
 pub mod compress;
 pub mod crc32;
+pub mod exec;
 pub mod failure;
 pub mod fnv;
 pub mod hist;

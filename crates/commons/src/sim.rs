@@ -260,6 +260,32 @@ impl SimNetwork {
             .copied()
             .unwrap_or(state.default_latency))
     }
+
+    /// Read-only variant of [`SimNetwork::deliver`]: reports whether the
+    /// link currently works and its latency *without* consuming the drop
+    /// RNG (a peek never rolls the dice), so invariant checkers can compute
+    /// latency bounds without perturbing a seeded replay.
+    pub fn peek_latency(&self, from: NodeId, to: NodeId) -> Result<Duration, NetError> {
+        let state = self.state.lock();
+        if state.down.contains(&to) {
+            return Err(NetError::NodeDown);
+        }
+        match (
+            state.partition_group.get(&from),
+            state.partition_group.get(&to),
+        ) {
+            (Some(a), Some(b)) if a != b => return Err(NetError::Partitioned),
+            _ => {}
+        }
+        if state.blocked_links.contains(&(from, to)) {
+            return Err(NetError::Partitioned);
+        }
+        Ok(state
+            .link_latency
+            .get(&(from, to))
+            .copied()
+            .unwrap_or(state.default_latency))
+    }
 }
 
 #[cfg(test)]
@@ -358,6 +384,36 @@ mod tests {
         assert_eq!(net.deliver(B, C), Err(NetError::NodeDown), "crash survives heal_all");
         net.restart(C);
         assert_eq!(net.deliver(A, C), Ok(Duration::ZERO), "latency override cleared");
+    }
+
+    #[test]
+    fn peek_latency_matches_deliver_without_consuming_rng() {
+        let net = SimNetwork::with_seed(7);
+        net.set_link_latency(A, B, Duration::from_millis(3));
+        assert_eq!(net.peek_latency(A, B), Ok(Duration::from_millis(3)));
+        net.crash(B);
+        assert_eq!(net.peek_latency(A, B), Err(NetError::NodeDown));
+        net.restart(B);
+        net.block_link(A, B);
+        assert_eq!(net.peek_latency(A, B), Err(NetError::Partitioned));
+        net.unblock_link(A, B);
+        // With drops enabled, peeking must not advance the RNG: the
+        // deliver sequence is identical whether or not we peeked first.
+        net.set_drop_probability(0.5);
+        let baseline: Vec<bool> = {
+            let control = SimNetwork::with_seed(123);
+            control.set_drop_probability(0.5);
+            (0..50).map(|_| control.deliver(A, B).is_ok()).collect()
+        };
+        let peeked = SimNetwork::with_seed(123);
+        peeked.set_drop_probability(0.5);
+        let outcomes: Vec<bool> = (0..50)
+            .map(|_| {
+                let _ = peeked.peek_latency(A, B);
+                peeked.deliver(A, B).is_ok()
+            })
+            .collect();
+        assert_eq!(baseline, outcomes);
     }
 
     #[test]

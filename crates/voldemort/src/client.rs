@@ -13,13 +13,38 @@
 //! topology, computes the preference list, talks to R/W replicas itself,
 //! performs read repair on stale replicas, and parks hinted-handoff writes
 //! on fallback nodes when replicas are unreachable.
+//!
+//! # Parallel quorum I/O
+//!
+//! Replica requests go through the [`li_commons::exec`] fan-out executor:
+//! the call completes as soon as R (or W) replicas acknowledge, and
+//! stragglers are demoted to background read repair (gets) or hinted
+//! handoff (puts) instead of adding their latency to the caller. The
+//! execution strategy is chosen per client via [`QuorumConfig`]:
+//!
+//! * [`FanOutMode::Deterministic`] (default) — replayable inline
+//!   execution; simulated latencies overlap by accounting (the reported
+//!   [`QuorumStats::sim_latency`] is the R-th fastest replica, not the
+//!   sum), which is what the chaos harness replays byte-identically.
+//! * [`FanOutMode::Parallel`] — real worker threads from the cluster's
+//!   shared pool, with optional per-node deadlines
+//!   ([`QuorumConfig::per_node_timeout`], fed into the failure detector as
+//!   failures so slow nodes back off to banned) and *hedged reads*
+//!   ([`QuorumConfig::hedge`]: after a quantile-derived delay, one backup
+//!   request goes to the next replica; `get.hedged` / `get.hedge_won`
+//!   count the rate and usefulness).
+//! * [`FanOutMode::Serial`] — the pre-parallel walk, kept as the
+//!   benchmark baseline.
 
 use bytes::Bytes;
 use li_commons::clock::{resolve_siblings, VectorClock, Versioned};
+pub use li_commons::exec::FanOutMode;
+use li_commons::exec::{fan_out, FanOutOptions, FanOutPool, FanOutTask, LateHandler};
 use li_commons::metrics::{Counter, Histo};
 use li_commons::ring::NodeId;
-use std::sync::Arc;
-use std::time::Instant;
+use std::collections::BTreeMap;
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
 
 use crate::cluster::VoldemortCluster;
 use crate::error::VoldemortError;
@@ -44,6 +69,15 @@ pub trait Transform: Send + Sync {
 /// `None` to abort.
 pub type UpdateAction<'a> = &'a dyn Fn(&[Versioned<Bytes>]) -> Option<Bytes>;
 
+/// One replica's read reply: simulated link latency plus the versions held.
+type ReadReply = (Duration, Vec<Versioned<Bytes>>);
+
+/// Late-straggler handler for read fan-outs.
+type ReadLateHandler = LateHandler<ReadReply, VoldemortError>;
+
+/// One node's batched multi-get task: per-key version lists in request order.
+type MultiGetTask = FanOutTask<(NodeId, Vec<Vec<Versioned<Bytes>>>), VoldemortError>;
+
 /// Which side coordinates requests. "Voldemort supports both server and
 /// client side routing by moving the routing and associated modules"
 /// (§II.B): with client-side routing the client talks to every replica
@@ -57,9 +91,89 @@ pub enum RoutingMode {
     ServerSide(NodeId),
 }
 
+/// How many replicas a quorum read contacts up front.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReadFanOut {
+    /// Contact the first R available replicas; a failure pulls in the next
+    /// replica as a backup (cheapest; a slow replica inside the first R
+    /// still hurts unless hedging covers it).
+    #[default]
+    Quorum,
+    /// Contact all N replicas and complete on the first R answers — the
+    /// paper's parallel quorum, which masks any N−R slow replicas.
+    All,
+}
+
+/// Hedged-read tuning: if the quorum is unmet after a delay derived from
+/// the observed replica latency distribution, one backup request goes to
+/// the next untried replica. Only meaningful under
+/// [`FanOutMode::Parallel`].
+#[derive(Debug, Clone)]
+pub struct HedgeConfig {
+    /// Latency quantile the delay is derived from (e.g. 0.95: hedge when
+    /// the primary is slower than 95% of observed replica calls).
+    pub quantile: f64,
+    /// Lower clamp on the derived delay (also used before any latency has
+    /// been observed).
+    pub min_delay: Duration,
+    /// Upper clamp on the derived delay.
+    pub max_delay: Duration,
+}
+
+impl Default for HedgeConfig {
+    fn default() -> Self {
+        HedgeConfig {
+            quantile: 0.95,
+            min_delay: Duration::from_micros(200),
+            max_delay: Duration::from_millis(50),
+        }
+    }
+}
+
+/// Per-client quorum I/O tuning. The default — deterministic inline
+/// fan-out, quorum-sized read fan-out, no deadlines, no hedging, no
+/// latency sleeping — reproduces the exact request sequence of the
+/// pre-parallel client, which is what seeded chaos replays depend on.
+#[derive(Debug, Clone, Default)]
+pub struct QuorumConfig {
+    /// Execution strategy (see [`FanOutMode`]).
+    pub mode: FanOutMode,
+    /// Read fan-out width (see [`ReadFanOut`]).
+    pub read_fan_out: ReadFanOut,
+    /// Per-node deadline: a replica whose simulated latency exceeds this
+    /// counts as failed (`VoldemortError::Timeout`) and is reported to the
+    /// failure detector, so persistently slow nodes get banned and backed
+    /// off exactly like dead ones.
+    pub per_node_timeout: Option<Duration>,
+    /// Hedged-read tuning (Parallel mode only).
+    pub hedge: Option<HedgeConfig>,
+    /// Sleep the simulated per-link latency on each replica call (used by
+    /// benchmarks so wall-clock percentiles reflect the simulated
+    /// network; tests leave this off and read the accounted
+    /// [`QuorumStats::sim_latency`] instead).
+    pub simulate_latency: bool,
+}
+
+/// What one quorum operation observed — the accounting the chaos harness
+/// checks its R-th-fastest-replica bound against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct QuorumStats {
+    /// Simulated completion latency: for parallel/deterministic fan-out,
+    /// the R-th smallest replica latency among the successes (replicas
+    /// overlap); for [`FanOutMode::Serial`], the sum (they don't).
+    pub sim_latency: Duration,
+    /// Replica requests launched (primaries + backups + hedges).
+    pub contacted: usize,
+    /// Hedge requests launched.
+    pub hedges: usize,
+    /// Hedge requests whose response completed the quorum.
+    pub hedge_wins: usize,
+}
+
 /// Client-side observability under the cluster registry's
 /// `voldemort.client.` prefix: end-to-end latency per API call, quorum
-/// outcomes, and writes that needed a hint to meet W (sloppy quorum).
+/// outcomes, writes that needed a hint to meet W (sloppy quorum), and the
+/// hedged-read counters.
 #[derive(Debug, Clone)]
 struct ClientMetrics {
     get_latency: Histo,
@@ -69,6 +183,11 @@ struct ClientMetrics {
     quorum_read_failures: Counter,
     quorum_write_failures: Counter,
     hinted_writes: Counter,
+    hedged: Counter,
+    hedge_won: Counter,
+    get_sim_latency: Histo,
+    put_sim_latency: Histo,
+    replica_latency: Histo,
 }
 
 impl ClientMetrics {
@@ -82,6 +201,47 @@ impl ClientMetrics {
             quorum_read_failures: scope.counter("quorum.read_failures"),
             quorum_write_failures: scope.counter("quorum.write_failures"),
             hinted_writes: scope.counter("put.hinted"),
+            hedged: scope.counter("get.hedged"),
+            hedge_won: scope.counter("get.hedge_won"),
+            get_sim_latency: scope.histogram("get.sim_latency_ns"),
+            put_sim_latency: scope.histogram("put.sim_latency_ns"),
+            replica_latency: scope.histogram("replica.latency_ns"),
+        }
+    }
+}
+
+/// Delivers one replica-bound message, enforcing the per-node deadline and
+/// maintaining the failure detector. Returns the simulated link latency.
+fn replica_deliver(
+    cluster: &VoldemortCluster,
+    origin: NodeId,
+    node: NodeId,
+    timeout: Option<Duration>,
+    sleep: bool,
+) -> Result<Duration, VoldemortError> {
+    match cluster.network().deliver(origin, node) {
+        Ok(latency) => {
+            if let Some(deadline) = timeout {
+                if latency > deadline {
+                    // The caller gives up at the deadline (sleep only that
+                    // long) and the slow node is penalized like a dead one,
+                    // so the detector's ban/backoff covers chronic
+                    // stragglers too.
+                    if sleep {
+                        std::thread::sleep(deadline);
+                    }
+                    cluster.detector().record_failure(node);
+                    return Err(VoldemortError::Timeout(node));
+                }
+            }
+            if sleep {
+                std::thread::sleep(latency);
+            }
+            Ok(latency)
+        }
+        Err(net) => {
+            cluster.detector().record_failure(node);
+            Err(VoldemortError::Net(node, net))
         }
     }
 }
@@ -91,6 +251,7 @@ pub struct StoreClient {
     cluster: Arc<VoldemortCluster>,
     store: StoreDef,
     routing: RoutingMode,
+    config: QuorumConfig,
     metrics: ClientMetrics,
 }
 
@@ -104,6 +265,7 @@ impl StoreClient {
             cluster,
             store,
             routing: RoutingMode::ClientSide,
+            config: QuorumConfig::default(),
             metrics,
         }
     }
@@ -116,6 +278,19 @@ impl StoreClient {
     pub fn with_server_routing(mut self, coordinator: NodeId) -> Self {
         self.routing = RoutingMode::ServerSide(coordinator);
         self
+    }
+
+    /// Replaces the quorum I/O configuration (fan-out mode, read width,
+    /// per-node deadline, hedging).
+    #[must_use]
+    pub fn with_quorum_config(mut self, config: QuorumConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// The active quorum I/O configuration.
+    pub fn quorum_config(&self) -> &QuorumConfig {
+        &self.config
     }
 
     /// The node that acts as the origin of replica traffic.
@@ -146,7 +321,12 @@ impl StoreClient {
         self.cluster.route(&self.store, key)
     }
 
-    /// Attempts one remote call, maintaining the failure detector.
+    /// The worker pool, only when this client actually runs parallel.
+    fn pool(&self) -> Option<Arc<FanOutPool>> {
+        (self.config.mode == FanOutMode::Parallel).then(|| self.cluster.fan_out_pool())
+    }
+
+    /// Attempts one remote call inline, maintaining the failure detector.
     fn call<T>(
         &self,
         node: NodeId,
@@ -154,18 +334,13 @@ impl StoreClient {
     ) -> Result<T, VoldemortError> {
         let detector = self.cluster.detector();
         match self.cluster.network().deliver(self.origin(), node) {
-            Ok(_latency) => match op() {
-                Ok(value) => {
-                    detector.record_success(node);
-                    Ok(value)
-                }
+            Ok(_latency) => {
+                let result = op();
                 // An application-level rejection (e.g. ObsoleteVersion) is
                 // a *successful* interaction for liveness purposes.
-                Err(e) => {
-                    detector.record_success(node);
-                    Err(e)
-                }
-            },
+                detector.record_success(node);
+                result
+            }
             Err(net) => {
                 detector.record_failure(node);
                 Err(VoldemortError::Net(node, net))
@@ -173,10 +348,68 @@ impl StoreClient {
         }
     }
 
+    /// Preference-list nodes that exist and the failure detector considers
+    /// available, in preference order.
+    fn available_replicas(&self, prefs: &[NodeId]) -> Vec<NodeId> {
+        let detector = self.cluster.detector();
+        prefs
+            .iter()
+            .copied()
+            .filter(|&n| detector.is_available(n) && self.cluster.node(n).is_ok())
+            .collect()
+    }
+
+    /// The hedge delay for this moment, derived from the replica-latency
+    /// histogram (Parallel mode with hedging configured only).
+    fn hedge_delay(&self) -> Option<Duration> {
+        if self.config.mode != FanOutMode::Parallel {
+            return None;
+        }
+        let cfg = self.config.hedge.as_ref()?;
+        let observed = self.metrics.replica_latency.snapshot();
+        let delay = if observed.count() == 0 {
+            cfg.min_delay
+        } else {
+            Duration::from_nanos(observed.quantile(cfg.quantile))
+        };
+        Some(delay.clamp(cfg.min_delay, cfg.max_delay))
+    }
+
+    /// Builds the replica-get task for `node`. `'static` because Parallel
+    /// mode stragglers may outlive this call.
+    fn get_task(
+        &self,
+        node: NodeId,
+        key: &[u8],
+    ) -> FanOutTask<(Duration, Vec<Versioned<Bytes>>), VoldemortError> {
+        let cluster = Arc::clone(&self.cluster);
+        let store = self.store.name.clone();
+        let key = Bytes::copy_from_slice(key);
+        let origin = self.origin();
+        let timeout = self.config.per_node_timeout;
+        let sleep = self.config.simulate_latency;
+        FanOutTask::new(u64::from(node.0), move || {
+            let server = cluster.node(node)?;
+            let latency = replica_deliver(&cluster, origin, node, timeout, sleep)?;
+            let result = server.get(&store, &key);
+            cluster.detector().record_success(node);
+            result.map(|versions| (latency, versions))
+        })
+    }
+
     /// API method 1: quorum get. Returns all concurrent siblings (empty
     /// when the key is absent); conflict resolution is the application's
     /// job, per the Dynamo design.
     pub fn get(&self, key: &[u8]) -> Result<Vec<Versioned<Bytes>>, VoldemortError> {
+        self.get_internal(key, None).map(|(versions, _)| versions)
+    }
+
+    /// Like [`StoreClient::get`], also reporting the fan-out accounting
+    /// ([`QuorumStats`]) for this operation.
+    pub fn get_with_stats(
+        &self,
+        key: &[u8],
+    ) -> Result<(Vec<Versioned<Bytes>>, QuorumStats), VoldemortError> {
         self.get_internal(key, None)
     }
 
@@ -188,18 +421,24 @@ impl StoreClient {
         transform: &dyn Transform,
     ) -> Result<Vec<Versioned<Bytes>>, VoldemortError> {
         self.get_internal(key, Some(transform))
+            .map(|(versions, _)| versions)
     }
 
     fn get_internal(
         &self,
         key: &[u8],
         transform: Option<&dyn Transform>,
-    ) -> Result<Vec<Versioned<Bytes>>, VoldemortError> {
+    ) -> Result<(Vec<Versioned<Bytes>>, QuorumStats), VoldemortError> {
         let start = Instant::now();
         let result = self.get_quorum(key, transform);
         self.metrics.get_latency.record_duration(start.elapsed());
         match &result {
-            Ok(_) => self.metrics.gets_ok.inc(),
+            Ok((_, stats)) => {
+                self.metrics.gets_ok.inc();
+                self.metrics
+                    .get_sim_latency
+                    .record(stats.sim_latency.as_nanos() as u64);
+            }
             Err(VoldemortError::InsufficientReads { .. }) => {
                 self.metrics.quorum_read_failures.inc();
             }
@@ -212,43 +451,91 @@ impl StoreClient {
         &self,
         key: &[u8],
         transform: Option<&dyn Transform>,
-    ) -> Result<Vec<Versioned<Bytes>>, VoldemortError> {
+    ) -> Result<(Vec<Versioned<Bytes>>, QuorumStats), VoldemortError> {
         self.enter()?;
         let prefs = self.preference_list(key)?;
-        let detector = self.cluster.detector();
-        let mut responses: Vec<(NodeId, Vec<Versioned<Bytes>>)> = Vec::new();
-        for &node in &prefs {
-            if responses.len() >= self.store.required_reads {
-                break;
-            }
-            if !detector.is_available(node) {
-                continue;
-            }
-            let Ok(server) = self.cluster.node(node) else {
-                continue;
-            };
-            match self.call(node, || server.get(&self.store.name, key)) {
-                Ok(versions) => responses.push((node, versions)),
-                Err(_) => continue,
-            }
+        let required = self.store.required_reads;
+        let available = self.available_replicas(&prefs);
+        let width = match self.config.read_fan_out {
+            ReadFanOut::Quorum => required.min(available.len()),
+            ReadFanOut::All => available.len(),
+        };
+        let primary: Vec<_> = available[..width].iter().map(|&n| self.get_task(n, key)).collect();
+        let backups: Vec<_> = available[width..].iter().map(|&n| self.get_task(n, key)).collect();
+
+        // Stragglers that answer after we've returned get repaired in the
+        // background against the merged set published here. Best-effort: a
+        // straggler racing the publish is skipped, exactly like a replica
+        // that missed this read entirely — the next read repairs it.
+        let merged_latch: Arc<OnceLock<Vec<Versioned<Bytes>>>> = Arc::new(OnceLock::new());
+        let late: Option<ReadLateHandler> =
+            (self.config.mode == FanOutMode::Parallel).then(|| {
+                let cluster = Arc::clone(&self.cluster);
+                let store = self.store.name.clone();
+                let key = Bytes::copy_from_slice(key);
+                let origin = self.origin();
+                let latch = Arc::clone(&merged_latch);
+                let handler: ReadLateHandler =
+                    Arc::new(move |node, outcome| {
+                        let Ok((_, versions)) = outcome else { return };
+                        let Some(merged) = latch.get() else { return };
+                        let node = NodeId(node as u16);
+                        for version in merged {
+                            if !versions.iter().any(|v| v.clock == version.clock) {
+                                if let Ok(server) = cluster.node(node) {
+                                    if cluster.network().deliver(origin, node).is_ok() {
+                                        let _ = server.force_put(&store, &key, version.clone());
+                                    }
+                                }
+                            }
+                        }
+                    });
+                handler
+            });
+
+        let opts = FanOutOptions {
+            mode: self.config.mode,
+            required,
+            hedge_delay: (!backups.is_empty())
+                .then(|| self.hedge_delay())
+                .flatten(),
+            overall_deadline: None,
+        };
+        let report = fan_out(self.pool().as_deref(), &opts, primary, backups, None, late);
+        self.metrics.hedged.add(report.hedges as u64);
+        self.metrics.hedge_won.add(report.hedge_wins as u64);
+        for (_, (latency, _)) in report.successes() {
+            self.metrics.replica_latency.record(latency.as_nanos() as u64);
         }
-        if responses.len() < self.store.required_reads {
+        if !report.satisfied() {
+            let _ = merged_latch.set(Vec::new());
             return Err(VoldemortError::InsufficientReads {
-                required: self.store.required_reads,
-                got: responses.len(),
+                required,
+                got: report.quorum.len(),
             });
         }
 
+        // Collect responses and order them by preference-list position so
+        // the merge and repair sequence is independent of completion order.
+        let mut responses: Vec<(NodeId, Duration, Vec<Versioned<Bytes>>)> = report
+            .quorum
+            .into_iter()
+            .chain(report.extras)
+            .map(|(id, (latency, versions))| (NodeId(id as u16), latency, versions))
+            .collect();
+        responses.sort_by_key(|(node, _, _)| prefs.iter().position(|p| p == node));
+
         // Merge all observed versions into the live sibling set.
         let mut merged: Vec<Versioned<Bytes>> = Vec::new();
-        for (_, versions) in &responses {
+        for (_, _, versions) in &responses {
             for version in versions {
                 resolve_siblings(&mut merged, version.clone());
             }
         }
+        let _ = merged_latch.set(merged.clone());
 
         // Read repair: push missing versions back to stale responders.
-        for (node, versions) in &responses {
+        for (node, _, versions) in &responses {
             for version in &merged {
                 let has = versions.iter().any(|v| v.clock == version.clock);
                 if !has {
@@ -261,16 +548,34 @@ impl StoreClient {
             }
         }
 
-        match transform {
-            Some(t) => Ok(merged
+        let mut latencies: Vec<Duration> =
+            responses.iter().map(|(_, latency, _)| *latency).collect();
+        latencies.sort();
+        let sim_latency = match self.config.mode {
+            FanOutMode::Serial => latencies.iter().sum(),
+            _ => latencies
+                .get(required.saturating_sub(1))
+                .copied()
+                .unwrap_or_default(),
+        };
+        let stats = QuorumStats {
+            sim_latency,
+            contacted: report.launched,
+            hedges: report.hedges,
+            hedge_wins: report.hedge_wins,
+        };
+
+        let merged = match transform {
+            Some(t) => merged
                 .into_iter()
                 .map(|v| {
                     let transformed = t.on_get(&v.value);
                     Versioned::new(v.clock, transformed)
                 })
-                .collect()),
-            None => Ok(merged),
-        }
+                .collect(),
+            None => merged,
+        };
+        Ok((merged, stats))
     }
 
     /// API method 2: quorum put. `clock` must be the version the caller
@@ -323,6 +628,67 @@ impl StoreClient {
         result
     }
 
+    /// One synchronous replica put (used for the coordinator hop and for
+    /// transformed puts, which need per-replica server state and therefore
+    /// can't ship as `'static` tasks).
+    fn put_replica_inline(
+        &self,
+        node: NodeId,
+        key: &[u8],
+        candidate: &VectorClock,
+        value: &Bytes,
+        transform: Option<&dyn Transform>,
+    ) -> Result<Duration, VoldemortError> {
+        let server = self.cluster.node(node)?;
+        let latency = replica_deliver(
+            &self.cluster,
+            self.origin(),
+            node,
+            self.config.per_node_timeout,
+            self.config.simulate_latency,
+        )?;
+        let result = (|| {
+            let stored_value = match transform {
+                Some(t) => {
+                    let current = server.get(&self.store.name, key)?;
+                    // Transform against the newest value this replica has.
+                    let current_bytes = current.first().map(|v| v.value.clone());
+                    t.on_put(current_bytes.as_deref(), value)
+                }
+                None => value.clone(),
+            };
+            server.put(
+                &self.store.name,
+                key,
+                Versioned::new(candidate.clone(), stored_value),
+            )
+        })();
+        self.cluster.detector().record_success(node);
+        result.map(|()| latency)
+    }
+
+    /// Builds the replica-put task for `node` (raw values only).
+    fn put_task(
+        &self,
+        node: NodeId,
+        key: &[u8],
+        versioned: Versioned<Bytes>,
+    ) -> FanOutTask<Duration, VoldemortError> {
+        let cluster = Arc::clone(&self.cluster);
+        let store = self.store.name.clone();
+        let key = Bytes::copy_from_slice(key);
+        let origin = self.origin();
+        let timeout = self.config.per_node_timeout;
+        let sleep = self.config.simulate_latency;
+        FanOutTask::new(u64::from(node.0), move || {
+            let server = cluster.node(node)?;
+            let latency = replica_deliver(&cluster, origin, node, timeout, sleep)?;
+            let result = server.put(&store, &key, versioned);
+            cluster.detector().record_success(node);
+            result.map(|()| latency)
+        })
+    }
+
     fn put_quorum(
         &self,
         key: &[u8],
@@ -332,55 +698,39 @@ impl StoreClient {
     ) -> Result<VectorClock, VoldemortError> {
         self.enter()?;
         let prefs = self.preference_list(key)?;
-        // The first replica that actually accepts the write acts as the
-        // coordinator: its node id stamps the incremented vector clock, as
-        // in Dynamo. Two writers racing through disjoint replica subsets
-        // therefore produce *concurrent* clocks (siblings), while writers
-        // sharing a replica collide on the optimistic lock.
-        let mut committed_clock: Option<VectorClock> = None;
-
         let detector = self.cluster.detector();
+        let required = self.store.required_writes;
         let mut acks = 0usize;
         let mut failed_replicas: Vec<NodeId> = Vec::new();
-        for &node in &prefs {
-            let server = match self.cluster.node(node) {
-                Ok(s) => s,
-                Err(_) => {
-                    failed_replicas.push(node);
-                    continue;
-                }
-            };
-            if !detector.is_available(node) {
+        let mut sim_latency = Duration::ZERO;
+
+        // Phase 1 — coordinator hop, always serial: the first replica that
+        // actually accepts the write stamps the incremented vector clock,
+        // as in Dynamo. Two writers racing through disjoint replica subsets
+        // therefore produce *concurrent* clocks (siblings), while writers
+        // sharing a replica collide on the optimistic lock. Fanning the
+        // clock-stamping write out in parallel would let disjoint writers
+        // mint *identical* clocks, silently losing one write — so this hop
+        // stays serial in every mode.
+        let mut committed_clock: Option<VectorClock> = None;
+        let mut wave_start = prefs.len();
+        for (i, &node) in prefs.iter().enumerate() {
+            if self.cluster.node(node).is_err() || !detector.is_available(node) {
                 failed_replicas.push(node);
                 continue;
             }
-            let candidate = committed_clock
-                .clone()
-                .unwrap_or_else(|| clock.incremented(node.0));
-            let outcome = self.call(node, || {
-                let stored_value = match transform {
-                    Some(t) => {
-                        let current = server.get(&self.store.name, key)?;
-                        // Transform against the newest value this replica has.
-                        let current_bytes = current.first().map(|v| v.value.clone());
-                        t.on_put(current_bytes.as_deref(), &value)
-                    }
-                    None => value.clone(),
-                };
-                server.put(
-                    &self.store.name,
-                    key,
-                    Versioned::new(candidate.clone(), stored_value),
-                )
-            });
-            match outcome {
-                Ok(()) => {
-                    committed_clock.get_or_insert(candidate);
-                    acks += 1;
+            let candidate = clock.incremented(node.0);
+            match self.put_replica_inline(node, key, &candidate, &value, transform) {
+                Ok(latency) => {
+                    sim_latency += latency;
+                    committed_clock = Some(candidate);
+                    acks = 1;
+                    wave_start = i + 1;
+                    break;
                 }
+                // Optimistic lock: someone committed a newer version.
                 Err(VoldemortError::ObsoleteVersion) => {
-                    // Optimistic lock: someone committed a newer version.
-                    return Err(VoldemortError::ObsoleteVersion);
+                    return Err(VoldemortError::ObsoleteVersion)
                 }
                 // An engine-level rejection is a property of the store, not
                 // of this replica — no other replica (or hint) will accept
@@ -390,10 +740,112 @@ impl StoreClient {
             }
         }
         let new_clock = committed_clock
+            .clone()
             .unwrap_or_else(|| clock.incremented(prefs[0].0));
 
+        // Phase 2 — replicate the committed version to the remaining
+        // preference-list replicas, in parallel, waiting only for the
+        // W−1 further acks the quorum still needs. Stragglers keep running;
+        // a late failure parks a hint asynchronously.
+        if committed_clock.is_some() && wave_start < prefs.len() {
+            let mut tasks = Vec::new();
+            match transform {
+                None => {
+                    for &node in &prefs[wave_start..] {
+                        if self.cluster.node(node).is_err() || !detector.is_available(node) {
+                            failed_replicas.push(node);
+                            continue;
+                        }
+                        tasks.push(self.put_task(
+                            node,
+                            key,
+                            Versioned::new(new_clock.clone(), value.clone()),
+                        ));
+                    }
+                }
+                Some(t) => {
+                    // Transformed puts read per-replica state; keep them on
+                    // the inline path regardless of mode.
+                    for &node in &prefs[wave_start..] {
+                        if self.cluster.node(node).is_err() || !detector.is_available(node) {
+                            failed_replicas.push(node);
+                            continue;
+                        }
+                        match self.put_replica_inline(node, key, &new_clock, &value, Some(t)) {
+                            Ok(_) => acks += 1,
+                            Err(VoldemortError::ObsoleteVersion) => {
+                                return Err(VoldemortError::ObsoleteVersion)
+                            }
+                            Err(e @ VoldemortError::UnsupportedOperation(_)) => return Err(e),
+                            Err(_) => failed_replicas.push(node),
+                        }
+                    }
+                }
+            }
+            if !tasks.is_empty() {
+                let late: Option<LateHandler<Duration, VoldemortError>> =
+                    (self.config.mode == FanOutMode::Parallel).then(|| {
+                        self.late_hint_handler(key, &prefs, &new_clock, &value)
+                    });
+                // Replication is not optional: every replica must be
+                // attempted. Inline modes run the whole wave (legacy
+                // parity); only Parallel returns at W acks and leaves the
+                // rest replicating in the background.
+                let wave_required = match self.config.mode {
+                    FanOutMode::Parallel => required.saturating_sub(acks),
+                    _ => tasks.len(),
+                };
+                let opts = FanOutOptions {
+                    mode: self.config.mode,
+                    required: wave_required,
+                    hedge_delay: None,
+                    overall_deadline: None,
+                };
+                let is_fatal = |e: &VoldemortError| {
+                    matches!(
+                        e,
+                        VoldemortError::ObsoleteVersion
+                            | VoldemortError::UnsupportedOperation(_)
+                    )
+                };
+                let report = fan_out(
+                    self.pool().as_deref(),
+                    &opts,
+                    tasks,
+                    Vec::new(),
+                    Some(&is_fatal),
+                    late,
+                );
+                if let Some((_, e)) = report.fatal {
+                    return Err(e);
+                }
+                let mut wave_latencies: Vec<Duration> = Vec::new();
+                for (_, latency) in report.successes() {
+                    acks += 1;
+                    wave_latencies.push(*latency);
+                    self.metrics.replica_latency.record(latency.as_nanos() as u64);
+                }
+                for (node, _) in &report.failures {
+                    failed_replicas.push(NodeId(*node as u16));
+                }
+                wave_latencies.sort();
+                sim_latency += match self.config.mode {
+                    FanOutMode::Serial => wave_latencies.iter().sum(),
+                    _ => opts
+                        .required
+                        .checked_sub(1)
+                        .and_then(|i| wave_latencies.get(i))
+                        .copied()
+                        .unwrap_or_default(),
+                };
+            }
+        }
+        self.metrics
+            .put_sim_latency
+            .record(sim_latency.as_nanos() as u64);
+
         // Hinted handoff: park failed replicas' writes on fallback nodes.
-        if acks < self.store.required_writes && !failed_replicas.is_empty() {
+        if acks < required && !failed_replicas.is_empty() {
             let fallbacks: Vec<NodeId> = self
                 .cluster
                 .node_ids()
@@ -402,7 +854,7 @@ impl StoreClient {
                 .collect();
             let mut fallback_iter = fallbacks.into_iter();
             for &target in &failed_replicas {
-                if acks >= self.store.required_writes {
+                if acks >= required {
                     break;
                 }
                 let Some(holder_id) = fallback_iter.next() else {
@@ -417,11 +869,12 @@ impl StoreClient {
                     key: Bytes::copy_from_slice(key),
                     value: Versioned::new(new_clock.clone(), value.clone()),
                 };
-                if self.call(holder_id, || {
-                    holder.store_hint(hint);
-                    Ok(())
-                })
-                .is_ok()
+                if self
+                    .call(holder_id, || {
+                        holder.store_hint(hint);
+                        Ok(())
+                    })
+                    .is_ok()
                 {
                     acks += 1;
                     self.metrics.hinted_writes.inc();
@@ -429,55 +882,205 @@ impl StoreClient {
             }
         }
 
-        if acks < self.store.required_writes {
+        if acks < required {
             return Err(VoldemortError::InsufficientWrites {
-                required: self.store.required_writes,
+                required,
                 got: acks,
             });
         }
         Ok(new_clock)
     }
 
-    /// Quorum delete at version `clock`.
+    /// Builds the background hinted-handoff handler for put stragglers
+    /// that fail after the quorum already returned.
+    fn late_hint_handler(
+        &self,
+        key: &[u8],
+        prefs: &[NodeId],
+        new_clock: &VectorClock,
+        value: &Bytes,
+    ) -> LateHandler<Duration, VoldemortError> {
+        let cluster = Arc::clone(&self.cluster);
+        let store = self.store.name.clone();
+        let key = Bytes::copy_from_slice(key);
+        let prefs = prefs.to_vec();
+        let new_clock = new_clock.clone();
+        let value = value.clone();
+        let origin = self.origin();
+        let hinted = self.metrics.hinted_writes.clone();
+        Arc::new(move |node, outcome| {
+            if outcome.is_ok() {
+                return;
+            }
+            let target = NodeId(node as u16);
+            let detector = cluster.detector();
+            let fallbacks: Vec<NodeId> = cluster
+                .node_ids()
+                .into_iter()
+                .filter(|n| !prefs.contains(n) && detector.is_available(*n))
+                .collect();
+            for holder_id in fallbacks {
+                let Ok(holder) = cluster.node(holder_id) else {
+                    continue;
+                };
+                if cluster.network().deliver(origin, holder_id).is_ok() {
+                    holder.store_hint(Hint {
+                        store: store.clone(),
+                        target,
+                        key: key.clone(),
+                        value: Versioned::new(new_clock.clone(), value.clone()),
+                    });
+                    hinted.inc();
+                    break;
+                }
+            }
+        })
+    }
+
+    /// Quorum delete at version `clock`. All N replicas are contacted; the
+    /// call completes at W acknowledgements.
     pub fn delete(&self, key: &[u8], clock: &VectorClock) -> Result<bool, VoldemortError> {
         self.enter()?;
         let prefs = self.preference_list(key)?;
-        let mut acks = 0usize;
-        let mut any_deleted = false;
+        let required = self.store.required_writes;
+        let mut tasks: Vec<FanOutTask<(Duration, bool), VoldemortError>> = Vec::new();
         for &node in &prefs {
-            let Ok(server) = self.cluster.node(node) else {
+            if self.cluster.node(node).is_err() {
                 continue;
-            };
-            if let Ok(deleted) = self.call(node, || server.delete(&self.store.name, key, clock)) {
-                acks += 1;
-                any_deleted |= deleted;
             }
+            let cluster = Arc::clone(&self.cluster);
+            let store = self.store.name.clone();
+            let key = Bytes::copy_from_slice(key);
+            let clock = clock.clone();
+            let origin = self.origin();
+            let timeout = self.config.per_node_timeout;
+            let sleep = self.config.simulate_latency;
+            tasks.push(FanOutTask::new(u64::from(node.0), move || {
+                let server = cluster.node(node)?;
+                let latency = replica_deliver(&cluster, origin, node, timeout, sleep)?;
+                let result = server.delete(&store, &key, &clock);
+                cluster.detector().record_success(node);
+                result.map(|deleted| (latency, deleted))
+            }));
         }
-        if acks < self.store.required_writes {
+        let opts = FanOutOptions {
+            mode: self.config.mode,
+            required,
+            hedge_delay: None,
+            overall_deadline: None,
+        };
+        let report = fan_out(self.pool().as_deref(), &opts, tasks, Vec::new(), None, None);
+        let acks = report.quorum.len() + report.extras.len();
+        if acks < required {
             return Err(VoldemortError::InsufficientWrites {
-                required: self.store.required_writes,
+                required,
                 got: acks,
             });
         }
+        let any_deleted = report.successes().any(|(_, (_, deleted))| *deleted);
         Ok(any_deleted)
     }
 
-    /// Batch get: one call, many keys (Voldemort's `getAll`). Keys that
-    /// fail their read quorum are simply absent from the result map, so a
+    /// Batch get: one call, many keys (Voldemort's `getAll`). Keys are
+    /// batched by replica node — each node in the union of the keys'
+    /// quorum target sets is contacted exactly once with a multi-get —
+    /// instead of running an independent quorum per key. Keys that fail
+    /// their read quorum are simply absent from the result map, so a
     /// partially degraded cluster still serves what it can.
     pub fn get_all(
         &self,
         keys: &[&[u8]],
     ) -> Result<std::collections::HashMap<Vec<u8>, Vec<Versioned<Bytes>>>, VoldemortError> {
+        self.enter()?;
+        let required = self.store.required_reads;
         let mut out = std::collections::HashMap::with_capacity(keys.len());
-        for &key in keys {
-            match self.get(key) {
-                Ok(versions) if !versions.is_empty() => {
-                    out.insert(key.to_vec(), versions);
+
+        // Plan: the first R available replicas of each key (or all N with
+        // ReadFanOut::All), grouped per node. BTreeMap keeps node contact
+        // order deterministic.
+        let mut key_targets: Vec<Vec<NodeId>> = Vec::with_capacity(keys.len());
+        let mut per_node: BTreeMap<NodeId, Vec<usize>> = BTreeMap::new();
+        for (i, &key) in keys.iter().enumerate() {
+            let prefs = self.preference_list(key)?;
+            let available = self.available_replicas(&prefs);
+            let width = match self.config.read_fan_out {
+                ReadFanOut::Quorum => required.min(available.len()),
+                ReadFanOut::All => available.len(),
+            };
+            let targets = available[..width].to_vec();
+            for &node in &targets {
+                per_node.entry(node).or_default().push(i);
+            }
+            key_targets.push(targets);
+        }
+
+        // One multi-get task per node.
+        let mut tasks: Vec<MultiGetTask> = Vec::new();
+        for (&node, indices) in &per_node {
+            let cluster = Arc::clone(&self.cluster);
+            let store = self.store.name.clone();
+            let node_keys: Vec<Bytes> = indices
+                .iter()
+                .map(|&i| Bytes::copy_from_slice(keys[i]))
+                .collect();
+            let origin = self.origin();
+            let timeout = self.config.per_node_timeout;
+            let sleep = self.config.simulate_latency;
+            tasks.push(FanOutTask::new(u64::from(node.0), move || {
+                let server = cluster.node(node)?;
+                let _latency = replica_deliver(&cluster, origin, node, timeout, sleep)?;
+                let result = server.get_many(&store, &node_keys);
+                cluster.detector().record_success(node);
+                result.map(|versions| (node, versions))
+            }));
+        }
+        let opts = FanOutOptions {
+            // Every node response matters for some key's quorum, so the
+            // batch waits for all of them.
+            mode: self.config.mode,
+            required: tasks.len(),
+            hedge_delay: None,
+            overall_deadline: None,
+        };
+        let report = fan_out(self.pool().as_deref(), &opts, tasks, Vec::new(), None, None);
+        let mut node_results: BTreeMap<NodeId, Vec<Vec<Versioned<Bytes>>>> = BTreeMap::new();
+        for (_, (node, versions)) in report.quorum.into_iter().chain(report.extras) {
+            node_results.insert(node, versions);
+        }
+
+        // Assemble per-key quorums from the per-node responses.
+        for (i, &key) in keys.iter().enumerate() {
+            let responses: Vec<(NodeId, Vec<Versioned<Bytes>>)> = key_targets[i]
+                .iter()
+                .filter_map(|node| {
+                    let lists = node_results.get(node)?;
+                    let slot = per_node[node].iter().position(|&j| j == i)?;
+                    Some((*node, lists[slot].clone()))
+                })
+                .collect();
+            if responses.len() < required {
+                continue; // quorum miss: key absent, like the per-key path
+            }
+            let mut merged: Vec<Versioned<Bytes>> = Vec::new();
+            for (_, versions) in &responses {
+                for version in versions {
+                    resolve_siblings(&mut merged, version.clone());
                 }
-                Ok(_) => {}
-                Err(VoldemortError::InsufficientReads { .. }) => {}
-                Err(e) => return Err(e),
+            }
+            // Read repair stale responders, as the single-key path does.
+            for (node, versions) in &responses {
+                for version in &merged {
+                    if !versions.iter().any(|v| v.clock == version.clock) {
+                        if let Ok(server) = self.cluster.node(*node) {
+                            let _ = self.call(*node, || {
+                                server.force_put(&self.store.name, key, version.clone())
+                            });
+                        }
+                    }
+                }
+            }
+            if !merged.is_empty() {
+                out.insert(key.to_vec(), merged);
             }
         }
         Ok(out)
@@ -776,5 +1379,121 @@ mod tests {
         let resolved = client.get(b"k").unwrap();
         assert_eq!(resolved.len(), 1);
         assert_eq!(resolved[0].value.as_ref(), b"B");
+    }
+
+    #[test]
+    fn read_fan_out_all_masks_a_slow_replica() {
+        let (cluster, client) = cluster_with_store(5, 3, 2, 2);
+        let client = client.with_quorum_config(QuorumConfig {
+            read_fan_out: ReadFanOut::All,
+            ..QuorumConfig::default()
+        });
+        client.put_initial(b"k", Bytes::from_static(b"v")).unwrap();
+        let prefs = cluster.ring().preference_list(b"k", 3).unwrap();
+        // Make the *first* preference slow: serial/quorum fan-out would eat
+        // its full latency; fanning to all N completes at the R=2 fastest.
+        cluster.network().set_link_latency(
+            StoreClient::CLIENT_NODE,
+            prefs[0],
+            Duration::from_millis(40),
+        );
+        let (versions, stats) = client.get_with_stats(b"k").unwrap();
+        assert_eq!(versions[0].value.as_ref(), b"v");
+        assert_eq!(stats.contacted, 3, "all N contacted");
+        assert_eq!(
+            stats.sim_latency,
+            Duration::ZERO,
+            "R-th fastest replica bounds the accounted latency"
+        );
+    }
+
+    #[test]
+    fn per_node_timeout_feeds_failure_detector() {
+        let (cluster, client) = cluster_with_store(4, 3, 2, 2);
+        let client = client.with_quorum_config(QuorumConfig {
+            read_fan_out: ReadFanOut::All,
+            per_node_timeout: Some(Duration::from_millis(5)),
+            ..QuorumConfig::default()
+        });
+        client.put_initial(b"k", Bytes::from_static(b"v")).unwrap();
+        let prefs = cluster.ring().preference_list(b"k", 3).unwrap();
+        cluster.network().set_link_latency(
+            StoreClient::CLIENT_NODE,
+            prefs[2],
+            Duration::from_millis(50),
+        );
+        // Reads keep succeeding (quorum from the two fast replicas) while
+        // every timeout counts against the slow node's success ratio...
+        for _ in 0..20 {
+            client.get(b"k").unwrap();
+        }
+        // ...until the detector bans it like a dead node.
+        assert!(!cluster.detector().is_available(prefs[2]));
+        assert!(cluster.detector().is_available(prefs[0]));
+    }
+
+    #[test]
+    fn parallel_mode_serves_quorum_reads_and_writes() {
+        let (cluster, client) = cluster_with_store(5, 3, 2, 2);
+        let client = client.with_quorum_config(QuorumConfig {
+            mode: FanOutMode::Parallel,
+            read_fan_out: ReadFanOut::All,
+            ..QuorumConfig::default()
+        });
+        let mut clock = VectorClock::new();
+        for i in 0..20u32 {
+            clock = client
+                .put(b"k", &clock, Bytes::from(i.to_string()))
+                .unwrap();
+            let got = client.get(b"k").unwrap();
+            assert_eq!(got.len(), 1);
+            assert_eq!(got[0].value.as_ref(), i.to_string().as_bytes());
+        }
+        // Stragglers (N−W late acks per put) finish on the shared pool.
+        cluster.fan_out_pool().wait_idle();
+        let prefs = cluster.ring().preference_list(b"k", 3).unwrap();
+        for node in prefs {
+            let versions = cluster.node(node).unwrap().get("s", b"k").unwrap();
+            assert_eq!(versions.len(), 1, "replica {node} converged");
+        }
+    }
+
+    #[test]
+    fn hedged_read_recovers_tail_latency_and_counts() {
+        let (cluster, client) = cluster_with_store(5, 3, 1, 1);
+        let client = client.with_quorum_config(QuorumConfig {
+            mode: FanOutMode::Parallel,
+            read_fan_out: ReadFanOut::Quorum,
+            hedge: Some(HedgeConfig {
+                quantile: 0.95,
+                min_delay: Duration::from_millis(2),
+                max_delay: Duration::from_millis(2),
+            }),
+            simulate_latency: true,
+            ..QuorumConfig::default()
+        });
+        client.put_initial(b"k", Bytes::from_static(b"v")).unwrap();
+        let prefs = cluster.ring().preference_list(b"k", 3).unwrap();
+        // R=1 with Quorum fan-out contacts only prefs[0] — make it slow so
+        // the hedge to prefs[1] wins the race.
+        cluster.network().set_link_latency(
+            StoreClient::CLIENT_NODE,
+            prefs[0],
+            Duration::from_millis(250),
+        );
+        let start = Instant::now();
+        let (versions, stats) = client.get_with_stats(b"k").unwrap();
+        let elapsed = start.elapsed();
+        assert_eq!(versions[0].value.as_ref(), b"v");
+        assert_eq!(stats.hedges, 1, "hedge fired");
+        assert_eq!(stats.hedge_wins, 1, "hedge supplied the quorum answer");
+        assert!(
+            elapsed < Duration::from_millis(200),
+            "hedged read returned before the slow replica ({elapsed:?})"
+        );
+        let snapshot = cluster.metrics().snapshot();
+        assert_eq!(snapshot.counter("voldemort.client.get.hedged"), Some(1));
+        assert_eq!(snapshot.counter("voldemort.client.get.hedge_won"), Some(1));
+        cluster.fan_out_pool().wait_idle();
     }
 }

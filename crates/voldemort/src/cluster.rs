@@ -1,10 +1,12 @@
 //! The cluster runtime: nodes, topology, failure detection, admin service.
 
+use li_commons::clock::Occurred;
+use li_commons::exec::FanOutPool;
 use li_commons::failure::{FailureDetector, FailureDetectorConfig};
 use li_commons::metrics::MetricsRegistry;
 use li_commons::ring::{HashRing, NodeId, PartitionId, ZoneId};
 use li_commons::sim::{Clock, RealClock, SimNetwork};
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::path::Path;
 use std::sync::Arc;
@@ -29,6 +31,7 @@ pub struct VoldemortCluster {
     detector: FailureDetector,
     clock: Arc<dyn Clock>,
     metrics: Arc<MetricsRegistry>,
+    fan_out_pool: Mutex<Option<Arc<FanOutPool>>>,
 }
 
 impl std::fmt::Debug for VoldemortCluster {
@@ -94,6 +97,7 @@ impl VoldemortCluster {
             detector: FailureDetector::new(FailureDetectorConfig::default(), clock.clone()),
             clock,
             metrics,
+            fan_out_pool: Mutex::new(None),
         }))
     }
 
@@ -116,6 +120,15 @@ impl VoldemortCluster {
     /// The cluster clock.
     pub fn clock(&self) -> &Arc<dyn Clock> {
         &self.clock
+    }
+
+    /// The shared worker pool behind every client's parallel quorum
+    /// fan-out. Created lazily on first use, so clusters that only ever
+    /// run the deterministic inline mode spawn no threads.
+    pub fn fan_out_pool(&self) -> Arc<FanOutPool> {
+        let mut slot = self.fan_out_pool.lock();
+        slot.get_or_insert_with(|| Arc::new(FanOutPool::new(8)))
+            .clone()
     }
 
     /// A node handle.
@@ -244,7 +257,17 @@ impl VoldemortCluster {
 
     /// Replays hinted-handoff hints whose targets are reachable again.
     /// Returns the number of hints delivered.
+    ///
+    /// A hint can race a concurrent client put: the target may already
+    /// hold a version that supersedes (or equals) the parked write. Such
+    /// hints are dropped instead of replayed — force-putting them would
+    /// resurrect an overwritten version as a spurious sibling. Dropped
+    /// hints count under `voldemort.hints.dropped_obsolete`.
     pub fn deliver_hints(&self) -> usize {
+        let dropped_obsolete = self
+            .metrics
+            .scope("voldemort.hints")
+            .counter("dropped_obsolete");
         let mut delivered = 0;
         let targets: Vec<NodeId> = self.node_ids();
         // Sorted so replay order (and any RNG the network consumes per
@@ -261,6 +284,21 @@ impl VoldemortCluster {
                 }
                 for hint in holder.take_hints_for(target) {
                     if let Ok(target_node) = self.node(target) {
+                        let obsolete = target_node
+                            .get(&hint.store, &hint.key)
+                            .map(|current| {
+                                current.iter().any(|v| {
+                                    matches!(
+                                        v.clock.compare(&hint.value.clock),
+                                        Occurred::After | Occurred::Equal
+                                    )
+                                })
+                            })
+                            .unwrap_or(false);
+                        if obsolete {
+                            dropped_obsolete.inc();
+                            continue;
+                        }
                         if target_node
                             .force_put(&hint.store, &hint.key, hint.value.clone())
                             .is_ok()

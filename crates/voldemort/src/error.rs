@@ -35,6 +35,9 @@ pub enum VoldemortError {
     Routing(String),
     /// A remote operation failed at the network layer.
     Net(NodeId, NetError),
+    /// A replica exceeded the client's per-node deadline; the caller gave
+    /// up on it and the failure detector was told so it can back off.
+    Timeout(NodeId),
     /// `apply_update` exhausted its retries.
     RetriesExhausted(u32),
     /// Read-only store pipeline failure (build/pull/swap).
@@ -62,6 +65,7 @@ impl fmt::Display for VoldemortError {
             VoldemortError::DuplicateStore(name) => write!(f, "store `{name}` exists"),
             VoldemortError::Routing(msg) => write!(f, "routing error: {msg}"),
             VoldemortError::Net(node, e) => write!(f, "network error to {node}: {e}"),
+            VoldemortError::Timeout(node) => write!(f, "per-node deadline exceeded at {node}"),
             VoldemortError::RetriesExhausted(n) => write!(f, "update failed after {n} retries"),
             VoldemortError::ReadOnly(msg) => write!(f, "read-only pipeline: {msg}"),
             VoldemortError::Io(msg) => write!(f, "io error: {msg}"),

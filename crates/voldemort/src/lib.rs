@@ -62,7 +62,10 @@ pub mod routing;
 pub mod server;
 pub mod store;
 
-pub use client::{RoutingMode, StoreClient, Transform, UpdateAction};
+pub use client::{
+    FanOutMode, HedgeConfig, QuorumConfig, QuorumStats, ReadFanOut, RoutingMode, StoreClient,
+    Transform, UpdateAction,
+};
 pub use cluster::VoldemortCluster;
 pub use error::VoldemortError;
 pub use store::{EngineKind, StoreDef};

@@ -17,6 +17,7 @@ use crate::error::VoldemortError;
 #[derive(Debug, Clone)]
 struct NodeMetrics {
     gets: Counter,
+    multigets: Counter,
     puts: Counter,
     deletes: Counter,
     bytes_in: Counter,
@@ -29,6 +30,7 @@ impl NodeMetrics {
         let scope = registry.scope(format!("voldemort.node{}", id.0));
         NodeMetrics {
             gets: scope.counter("get.count"),
+            multigets: scope.counter("multiget.count"),
             puts: scope.counter("put.count"),
             deletes: scope.counter("delete.count"),
             bytes_in: scope.counter("bytes_in"),
@@ -134,6 +136,27 @@ impl VoldemortNode {
         let bytes: usize = versions.iter().map(|v| v.value.len()).sum();
         self.metrics.bytes_out.add(bytes as u64);
         Ok(versions)
+    }
+
+    /// Server-side multi-get: the batched form behind the client's
+    /// `get_all`, answering many keys in one request. Results are
+    /// positionally aligned with `keys` (absent keys yield empty lists).
+    pub fn get_many(
+        &self,
+        store: &str,
+        keys: &[Bytes],
+    ) -> Result<Vec<Vec<Versioned<Bytes>>>, VoldemortError> {
+        self.metrics.multigets.inc();
+        let engine = self.engine(store)?;
+        let mut out = Vec::with_capacity(keys.len());
+        let mut bytes = 0usize;
+        for key in keys {
+            let versions = engine.get(key)?;
+            bytes += versions.iter().map(|v| v.value.len()).sum::<usize>();
+            out.push(versions);
+        }
+        self.metrics.bytes_out.add(bytes as u64);
+        Ok(out)
     }
 
     /// Server-side put (vector-clock checked).

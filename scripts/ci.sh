@@ -15,11 +15,16 @@ cargo test -q
 echo "== cargo test -q --workspace =="
 cargo test -q --workspace
 
-echo "== chaos sweep: 20 seeds x 4 scenarios (10 min budget) =="
-# Wider seed sweep than the per-test default of 5. Deterministic and
-# sleep-free (SimClock only), so the timeout is a tripwire for
-# accidental wall-clock dependencies, not a flakiness allowance. On
-# failure each scenario prints its own CHAOS_SEED=<n> repro line.
+echo "== quorum proptests: 64 cases (default is 24) =="
+QUORUM_PROPTEST_CASES=64 cargo test -q --test voldemort_quorum_props
+
+echo "== chaos sweep: 20 seeds x 5 scenarios (10 min budget) =="
+# Wider seed sweep than the per-test default of 5. Deterministic — only
+# the tail-fanout scenario sleeps (it replays simulated link latencies
+# in real time so completion order follows the network model) — so the
+# timeout is a tripwire for accidental wall-clock dependencies, not a
+# flakiness allowance. On failure each scenario prints its own
+# CHAOS_SEED=<n> repro line.
 CHAOS_SEEDS=20 timeout 600 cargo test -q --test chaos -- chaos_sweep_
 
 echo "== cargo clippy --workspace --all-targets -- -D warnings =="

@@ -24,7 +24,7 @@ use li_espresso::{DatabaseSchema, EspressoCluster, TableSchema};
 use li_kafka::mirror::MirrorMaker;
 use li_kafka::{KafkaCluster, MessageSet, ReplicatedCluster};
 use li_sqlstore::{Database, RowKey};
-use li_voldemort::{StoreDef, VoldemortCluster};
+use li_voldemort::{FanOutMode, QuorumConfig, ReadFanOut, StoreDef, VoldemortCluster};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -155,6 +155,233 @@ fn run_voldemort_quorum(seed: u64, plant_violation: bool) -> Result<String, Chao
 fn chaos_sweep_voldemort_quorum() {
     for seed in sweep_seeds(5) {
         if let Err(failure) = run_voldemort_quorum(seed, false) {
+            panic!("{failure}");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Scenario 1b: Voldemort parallel fan-out tail latency under slow links.
+// ---------------------------------------------------------------------
+
+/// Drives a 5-node Voldemort cluster (N=3, R=2, W=2) with the **parallel**
+/// quorum path through a seeded schedule of crashes and slow node↔node
+/// links, while a deterministically rotating client→replica link is made
+/// slow as well. Invariants at quiesce:
+///
+/// * **tail-bound** — every successful quorum read completed within the
+///   R-th-fastest live replica's link latency (the whole point of fanning
+///   out: one slow replica must not set the request's critical path);
+/// * **quorum-durability** — every acked write is still covered;
+/// * **hints-drained-to-owners** — after `heal_all` + recovery, no hint is
+///   pending and every preference-list owner of every acked key holds a
+///   version descending from the acked clock.
+fn run_voldemort_tail_fanout(seed: u64) -> Result<String, ChaosFailure> {
+    let nodes: Vec<NodeId> = (0..5).map(NodeId).collect();
+    // Crash + slow-link faults only: drops would burn the shared network
+    // RNG from pool threads in nondeterministic order, and partitions can
+    // leave no quorum to measure.
+    let config = ChaosConfig {
+        partitions: false,
+        asym_links: false,
+        drops: false,
+        clock_skew: false,
+        ..ChaosConfig::default()
+    };
+    let mut sched = ChaosScheduler::new(seed, nodes.clone(), config);
+    let clock = sched.clock();
+    let ring = HashRing::balanced(16, &nodes).unwrap();
+    let cluster =
+        VoldemortCluster::with_parts(ring, sched.network(), Arc::new(clock.clone())).unwrap();
+    cluster
+        .add_store(StoreDef::read_write("s").with_quorum(3, 2, 2))
+        .unwrap();
+    // `simulate_latency` makes pool threads actually sleep each link's
+    // simulated latency, so completion order — and therefore which replies
+    // form the quorum — is decided by the fault schedule, not by OS thread
+    // scheduling. Injected latencies (10–25ms) dwarf scheduling jitter.
+    let client = cluster.client("s").unwrap().with_quorum_config(QuorumConfig {
+        mode: FanOutMode::Parallel,
+        read_fan_out: ReadFanOut::All,
+        simulate_latency: true,
+        ..QuorumConfig::default()
+    });
+    let required_reads = 2usize;
+
+    // The scheduler only slows node↔node links; the client's own links are
+    // rotated here from a seeded xorshift stream so the read path always
+    // has a slow replica to mask.
+    let mut link_rng = seed | 1;
+    let mut slow_replica: Option<NodeId> = None;
+    let mut acked: Vec<(String, Bytes, VectorClock)> = Vec::new();
+    let mut tail_violations: Vec<String> = Vec::new();
+    for i in 0..60u32 {
+        sched.step(&*cluster);
+        if i % 8 == 0 {
+            if let Some(old) = slow_replica.take() {
+                cluster
+                    .network()
+                    .set_link_latency(li_voldemort::StoreClient::CLIENT_NODE, old, Duration::ZERO);
+            }
+            link_rng ^= link_rng << 13;
+            link_rng ^= link_rng >> 7;
+            link_rng ^= link_rng << 17;
+            let node = NodeId((link_rng % 5) as u16);
+            let ms = 10 + (link_rng >> 8) % 16;
+            cluster.network().set_link_latency(
+                li_voldemort::StoreClient::CLIENT_NODE,
+                node,
+                Duration::from_millis(ms),
+            );
+            slow_replica = Some(node);
+            sched.note(format!("client-slow: node {} {}ms", node.0, ms));
+        }
+
+        let key = format!("t{}", i % 12);
+        let value = Bytes::from(format!("v{i}"));
+        for _attempt in 0..6 {
+            match client.apply_update(key.as_bytes(), 5, &|_| Some(value.clone())) {
+                Ok(write_clock) => {
+                    acked.push((key.clone(), value.clone(), write_clock));
+                    break;
+                }
+                Err(_) => {
+                    clock.advance(Duration::from_secs(6));
+                    cluster.run_failure_probes();
+                    sched.step(&*cluster);
+                }
+            }
+        }
+        // Parallel puts ack at W and finish replicating on pool threads;
+        // quiesce so the fault schedule (not thread timing) decides what
+        // the next op observes, keeping the trace a pure function of seed.
+        cluster.fan_out_pool().wait_idle();
+
+        // Tail bound: the R-th smallest client→replica latency over live,
+        // detector-available owners is the worst a fanned-out read may
+        // report as its simulated critical path.
+        let prefs = cluster.ring().preference_list(key.as_bytes(), 3).unwrap();
+        let mut reachable: Vec<Duration> = prefs
+            .iter()
+            .filter(|&&p| cluster.detector().is_available(p))
+            .filter_map(|&p| {
+                cluster
+                    .network()
+                    .peek_latency(li_voldemort::StoreClient::CLIENT_NODE, p)
+                    .ok()
+            })
+            .collect();
+        reachable.sort();
+        if let Some(&bound) = reachable.get(required_reads - 1) {
+            match client.get_with_stats(key.as_bytes()) {
+                Ok((_, stats)) => {
+                    if stats.sim_latency > bound {
+                        tail_violations.push(format!(
+                            "op {i}: read of `{key}` took {:?}, R-th fastest replica is {:?}",
+                            stats.sim_latency, bound
+                        ));
+                    }
+                }
+                Err(e) => sched.note(format!("op {i}: read failed under faults: {e}")),
+            }
+            cluster.fan_out_pool().wait_idle();
+        }
+        if i % 20 == 0 {
+            sched.note(format!("op {i}: acked_total={}", acked.len()));
+        }
+    }
+
+    sched.quiesce(&*cluster);
+    cluster.network().heal_all();
+    for _ in 0..40 {
+        clock.advance(Duration::from_secs(6));
+        cluster.run_failure_probes();
+        cluster.deliver_hints();
+        if cluster.pending_hints() == 0 && cluster.detector().banned_nodes().is_empty() {
+            break;
+        }
+    }
+    // Let the detector's sample window expire so crash-epoch failure
+    // samples can't combine with the first verification success into a
+    // ratio ban mid-check.
+    clock.advance(Duration::from_secs(30));
+    sched.note(format!(
+        "drained: acked={} pending_hints={} banned={:?}",
+        acked.len(),
+        cluster.pending_hints(),
+        cluster.detector().banned_nodes()
+    ));
+
+    let tail_bound = || -> Result<(), String> {
+        match tail_violations.first() {
+            None => Ok(()),
+            Some(first) => Err(format!(
+                "{} reads exceeded the R-th-fastest-replica bound; first: {first}",
+                tail_violations.len()
+            )),
+        }
+    };
+    let durability = || -> Result<(), String> {
+        for (key, value, write_clock) in &acked {
+            let siblings = client
+                .get(key.as_bytes())
+                .map_err(|e| format!("read of acked `{key}` failed: {e}"))?;
+            if !siblings.iter().any(|v| v.clock.descends_from(write_clock)) {
+                return Err(format!(
+                    "acked write to `{key}` not covered by any surviving version"
+                ));
+            }
+            if let Some(v) = siblings.iter().find(|v| v.clock == *write_clock) {
+                if v.value != *value {
+                    return Err(format!("acked key `{key}` returned wrong bytes"));
+                }
+            }
+        }
+        Ok(())
+    };
+    // Runs after `durability`, whose all-replica reads have already
+    // read-repaired any owner the hint path could legitimately skip (a
+    // banned owner with W live acks parks no hint).
+    let hints_to_owners = || -> Result<(), String> {
+        if cluster.pending_hints() != 0 {
+            return Err(format!(
+                "{} hints still pending after heal_all + recovery",
+                cluster.pending_hints()
+            ));
+        }
+        cluster.fan_out_pool().wait_idle();
+        for (key, _, write_clock) in &acked {
+            let prefs = cluster.ring().preference_list(key.as_bytes(), 3).unwrap();
+            for owner in prefs {
+                let held = cluster
+                    .node(owner)
+                    .map_err(|e| e.to_string())?
+                    .get("s", key.as_bytes())
+                    .map_err(|e| format!("owner {owner} read of `{key}`: {e}"))?;
+                if !held.iter().any(|v| v.clock.descends_from(write_clock)) {
+                    return Err(format!(
+                        "owner {owner} of `{key}` missing the acked write after hint replay"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    };
+    sched.check(
+        &[
+            ("tail-bound", &tail_bound),
+            ("quorum-durability", &durability),
+            ("hints-drained-to-owners", &hints_to_owners),
+        ],
+        "cargo test --test chaos tail_fanout",
+    )?;
+    Ok(sched.trace_text())
+}
+
+#[test]
+fn chaos_sweep_voldemort_tail_fanout() {
+    for seed in sweep_seeds(5) {
+        if let Err(failure) = run_voldemort_tail_fanout(seed) {
             panic!("{failure}");
         }
     }
@@ -579,6 +806,12 @@ fn same_seed_yields_byte_identical_traces() {
         let a = run_voldemort_quorum(seed, false).unwrap_or_else(|f| panic!("{f}"));
         let b = run_voldemort_quorum(seed, false).unwrap_or_else(|f| panic!("{f}"));
         assert_eq!(a, b, "voldemort trace diverged for seed {seed}");
+        assert!(!a.is_empty());
+    }
+    for seed in [7u64, 23] {
+        let a = run_voldemort_tail_fanout(seed).unwrap_or_else(|f| panic!("{f}"));
+        let b = run_voldemort_tail_fanout(seed).unwrap_or_else(|f| panic!("{f}"));
+        assert_eq!(a, b, "voldemort tail-fanout trace diverged for seed {seed}");
         assert!(!a.is_empty());
     }
     let a = run_espresso_failover(11).unwrap_or_else(|f| panic!("{f}"));
