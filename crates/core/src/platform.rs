@@ -83,9 +83,12 @@ impl DataPlatform {
         }
 
         // Databus tier: relay captures the primary semi-synchronously;
-        // bootstrap follows the relay.
+        // bootstrap follows the relay (sharing its frozen windows). The
+        // backlog-draining attach makes construction order-insensitive:
+        // any commits that land before the relay is wired ship as one
+        // batch instead of being lost.
         let relay = Arc::new(Relay::with_metrics("primary", 32 << 20, &metrics));
-        LogShippingAdapter::attach(&primary, relay.clone());
+        LogShippingAdapter::attach_with_backlog(&primary, relay.clone(), 0).map_err(wrap)?;
         let bootstrap = Arc::new(BootstrapServer::new());
 
         // Voldemort cache stores for Company Follow (§II.C).

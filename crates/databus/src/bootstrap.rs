@@ -21,7 +21,7 @@ use std::sync::Arc;
 
 use li_sqlstore::{Op, Row, RowChange, RowKey, Scn};
 
-use crate::event::{ServerFilter, Window};
+use crate::event::{FrozenWindow, ServerFilter, SharedWindow, Window};
 use crate::relay::{Relay, RelayError};
 
 /// A consolidated delta: the final state of every row touched after `since`.
@@ -71,8 +71,10 @@ impl SnapshotStorage {
 
 /// The bootstrap server. Thread-safe; share via `Arc`.
 pub struct BootstrapServer {
-    /// Append-only log storage (complete history).
-    log: Mutex<Vec<Window>>,
+    /// Append-only log storage (complete history). Entries are the same
+    /// frozen windows the relay buffers: following a relay is a refcount
+    /// bump per window, not a copy.
+    log: Mutex<Vec<SharedWindow>>,
     snapshot: Mutex<SnapshotStorage>,
     /// Test/diagnostic hook fired between the snapshot scan and the replay
     /// phase of [`BootstrapServer::snapshot`] — the window where a mutable
@@ -109,18 +111,25 @@ impl BootstrapServer {
 
     /// The log writer: appends windows arriving from the relay.
     pub fn ingest(&self, window: Window) {
+        self.ingest_shared(FrozenWindow::freeze(window));
+    }
+
+    /// The zero-copy log writer: appends an already-frozen window (shared
+    /// with the relay buffer that served it).
+    pub fn ingest_shared(&self, window: SharedWindow) {
         self.log.lock().push(window);
     }
 
     /// Catches the bootstrap server up from a relay (its own consumer
-    /// loop). Returns windows copied.
+    /// loop). Zero-copy: the log stores the relay's own frozen windows.
+    /// Returns windows linked.
     pub fn catch_up_from(&self, relay: &Relay) -> Result<usize, RelayError> {
         let last = self.log.lock().last().map_or(0, |w| w.scn);
-        let windows = relay.events_after(last, usize::MAX, &ServerFilter::all())?;
-        let n = windows.len();
+        let views = relay.events_after_shared(last, usize::MAX, &ServerFilter::all())?;
+        let n = views.len();
         let mut log = self.log.lock();
-        for w in windows {
-            log.push(w);
+        for view in views {
+            log.push(view.into_shared().expect("pass-all views are shared"));
         }
         Ok(n)
     }

@@ -10,6 +10,7 @@ use std::sync::Arc;
 use li_sqlstore::{Database, Scn, TriggerFn};
 use parking_lot::Mutex;
 
+use crate::event::Window;
 use crate::relay::{Relay, RelayError};
 
 /// Log-shipping capture: registers the relay as the database's
@@ -22,6 +23,23 @@ impl LogShippingAdapter {
     /// Wires `relay` as `db`'s semi-sync shipping destination.
     pub fn attach(db: &Database, relay: Arc<Relay>) {
         db.set_shipper(relay);
+    }
+
+    /// Wires `relay` as `db`'s shipper after first draining the binlog
+    /// backlog past `from_scn` into it via batched shipping (one relay
+    /// lock acquisition, one encode per entry) — attaching a fresh relay
+    /// to a database that already has history. On error the shipper is
+    /// not installed. Returns backlog windows shipped.
+    pub fn attach_with_backlog(
+        db: &Database,
+        relay: Arc<Relay>,
+        from_scn: Scn,
+    ) -> Result<usize, li_sqlstore::ShipError> {
+        use li_sqlstore::Shipper;
+        let backlog = db.binlog_after(from_scn);
+        relay.ship_batch(db.name(), &backlog)?;
+        db.set_shipper(relay.clone());
+        Ok(backlog.len())
     }
 }
 
@@ -42,17 +60,27 @@ impl PollingAdapter {
         }
     }
 
-    /// Pulls any new committed transactions from `db` into the relay.
-    /// Returns the number of windows shipped.
+    /// Pulls any new committed transactions from `db` into the relay as
+    /// one batch: each entry is encoded once and the relay lock is taken
+    /// once per poll, not per transaction. Entries the relay already has
+    /// (pushed ahead by a commit trigger) are reconciled away by the
+    /// relay's SCN watermark. The batch is atomic — on error nothing is
+    /// ingested and the capture position does not advance, so the next
+    /// poll retries the same run. Returns the number of windows shipped.
     pub fn poll(&self, db: &Database) -> Result<usize, RelayError> {
         let mut last = self.last_scn.lock();
         let entries = db.binlog_after(*last);
-        let mut shipped = 0;
-        for entry in entries {
-            self.relay.ingest_binlog(db.name(), &entry)?;
-            *last = entry.scn;
-            shipped += 1;
-        }
+        let Some(newest) = entries.last().map(|e| e.scn) else {
+            return Ok(0);
+        };
+        let expected = self.relay.expected_next_scn();
+        let windows: Vec<Window> = entries
+            .iter()
+            .filter(|e| expected == 0 || e.scn >= expected)
+            .map(|e| Window::from_binlog(db.name(), e))
+            .collect();
+        let shipped = self.relay.ingest_batch(windows)?;
+        *last = newest;
         Ok(shipped)
     }
 
@@ -101,6 +129,23 @@ mod tests {
     }
 
     #[test]
+    fn attach_with_backlog_ships_history_then_follows() {
+        let db = source();
+        for i in 0..4 {
+            db.put_one("member", RowKey::single(format!("{i}")), &b"v"[..], 1).unwrap();
+        }
+        let relay = Arc::new(Relay::new("primary", 1 << 20));
+        // History lands as one batch, then the shipper follows live.
+        assert_eq!(
+            LogShippingAdapter::attach_with_backlog(&db, relay.clone(), 0).unwrap(),
+            4
+        );
+        assert_eq!(relay.newest_scn(), 4);
+        db.put_one("member", RowKey::single("live"), &b"v"[..], 1).unwrap();
+        assert_eq!(relay.newest_scn(), 5, "semi-sync after attach");
+    }
+
+    #[test]
     fn polling_adapter_drains_incrementally() {
         let db = source();
         let relay = Arc::new(Relay::new("primary", 1 << 20));
@@ -138,9 +183,10 @@ mod tests {
         db.register_trigger(PollingAdapter::as_trigger(relay.clone(), "primary"));
         let adapter = PollingAdapter::new(relay.clone(), 0);
         db.put_one("member", RowKey::single("1"), &b"v"[..], 1).unwrap();
-        // Poll sees scn 1 already relayed; relay rejects the out-of-order
-        // duplicate internally and the stream stays clean.
-        let _ = adapter.poll(&db);
+        // Poll sees scn 1 already relayed; the relay's SCN watermark
+        // reconciles the duplicate away and the stream stays clean.
+        assert_eq!(adapter.poll(&db).unwrap(), 0);
         assert_eq!(relay.window_count(), 1);
+        assert_eq!(adapter.last_scn(), 1, "capture position advances past duplicates");
     }
 }

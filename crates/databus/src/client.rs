@@ -236,13 +236,16 @@ impl DatabusClient {
         let checkpoint = self.checkpoint();
         match self
             .relay
-            .events_after(checkpoint, self.batch_windows, &self.filter)
+            .events_after_shared(checkpoint, self.batch_windows, &self.filter)
         {
-            Ok(windows) => {
+            Ok(views) => {
+                // Shared views deref to `&Window`: an unfiltered consumer
+                // reads straight out of relay buffer memory — no clone
+                // between ingest and callback.
                 let mut processed = 0;
-                for window in &windows {
-                    self.deliver(window)?;
-                    *self.checkpoint.lock() = window.scn;
+                for view in &views {
+                    self.deliver(view)?;
+                    *self.checkpoint.lock() = view.scn;
                     processed += 1;
                 }
                 self.stats.lock().windows_from_relay += processed as u64;
@@ -563,6 +566,44 @@ mod tests {
         let state = consumer.state.lock();
         assert_eq!(state.get(&RowKey::single("m1")).unwrap().as_ref(), REDACTED);
         assert!(state.contains_key(&RowKey::new(["tenant-a", "m1"])));
+    }
+
+    #[test]
+    fn paused_relay_shows_growing_lag_not_silent_success() {
+        // A paused relay answers `Ok(vec![])` — on the wire identical to
+        // "caught up". The stall must still be observable: the relay
+        // counts serves-while-paused, and the client's lag gauge keeps
+        // refreshing (and growing, since ingestion continues).
+        let registry = li_commons::metrics::MetricsRegistry::new();
+        let relay = Arc::new(Relay::with_metrics("primary", 1 << 20, &registry));
+        let consumer = Arc::new(MapConsumer::default());
+        let client = DatabusClient::new(relay.clone(), None, consumer);
+        for scn in 1..=3u64 {
+            relay.ingest(window(scn, vec![put(&format!("k{scn}"), "v")])).unwrap();
+        }
+        client.catch_up().unwrap();
+        let lag = || registry.snapshot().gauge("databus.client.relay_lag_scns").unwrap();
+        assert_eq!(lag(), 0);
+
+        relay.set_paused(true);
+        relay.ingest(window(4, vec![put("k4", "v")])).unwrap();
+        relay.ingest(window(5, vec![put("k5", "v")])).unwrap();
+        assert_eq!(client.poll_once().unwrap(), 0, "stall looks like idle on the wire");
+        assert_eq!(lag(), 2, "but the lag gauge keeps refreshing");
+        assert_eq!(relay.served_while_paused(), 1);
+        relay.ingest(window(6, vec![put("k6", "v")])).unwrap();
+        assert_eq!(client.poll_once().unwrap(), 0);
+        assert_eq!(lag(), 3, "lag grows while paused");
+        assert_eq!(
+            registry
+                .snapshot()
+                .counter("databus.relay.primary.served_while_paused"),
+            Some(2)
+        );
+
+        relay.set_paused(false);
+        assert_eq!(client.catch_up().unwrap(), 3);
+        assert_eq!(lag(), 0, "drains after unpause");
     }
 
     #[test]

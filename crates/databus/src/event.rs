@@ -1,7 +1,10 @@
-//! Databus events: transaction windows and server-side filters.
+//! Databus events: transaction windows, shared immutable views, and
+//! server-side filters.
 
 use li_commons::fnv::fnv1a;
 use li_sqlstore::{BinlogEntry, RowChange, Scn};
+use std::ops::Deref;
+use std::sync::Arc;
 
 /// One transaction's worth of change events — the unit of delivery.
 ///
@@ -71,6 +74,185 @@ impl Window {
     }
 }
 
+/// Per-window filter summary, computed once at ingest (freeze time) so a
+/// filtered consumer can decide whether a window *could* contain matching
+/// changes without touching the change payloads at all. Hash collisions can
+/// only produce false positives (the real per-change filter still runs for
+/// windows that pass), never false negatives — equal strings always hash
+/// equal, so no matching change is ever skipped.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FilterSummary {
+    /// Sorted, deduplicated FNV-1a hashes of the table names in the window.
+    tables: Vec<u64>,
+    /// Sorted, deduplicated FNV-1a hashes of the resource ids (the
+    /// partitioning axis) in the window.
+    resources: Vec<u64>,
+}
+
+impl FilterSummary {
+    /// Builds the summary for a window's changes.
+    pub fn of(changes: &[RowChange]) -> Self {
+        let mut tables: Vec<u64> = changes.iter().map(|c| fnv1a(c.table.as_bytes())).collect();
+        tables.sort_unstable();
+        tables.dedup();
+        let mut resources: Vec<u64> = changes
+            .iter()
+            .map(|c| fnv1a(c.key.resource_id().map(str::as_bytes).unwrap_or(b"")))
+            .collect();
+        resources.sort_unstable();
+        resources.dedup();
+        FilterSummary { tables, resources }
+    }
+
+    /// True when `filter` could match at least one change in the summarized
+    /// window. A `false` here is definitive (O(1)-skip the window); a
+    /// `true` means the per-change filter must run.
+    pub fn may_match(&self, filter: &ServerFilter) -> bool {
+        if let Some(tables) = &filter.tables {
+            if !tables
+                .iter()
+                .any(|t| self.tables.binary_search(&fnv1a(t.as_bytes())).is_ok())
+            {
+                return false;
+            }
+        }
+        if let Some((num_partitions, ids)) = &filter.partitions {
+            let n = u64::from((*num_partitions).max(1));
+            if !self
+                .resources
+                .iter()
+                .any(|h| ids.contains(&((h % n) as u32)))
+            {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// A window frozen at ingest: the immutable event data plus everything the
+/// serving path needs precomputed (size for buffer accounting, filter
+/// summary for O(1) window skipping). The relay buffer, bootstrap log, and
+/// every served view share one `Arc<FrozenWindow>` allocation — freezing is
+/// a move, serving is a refcount bump.
+#[derive(Debug, PartialEq, Eq)]
+pub struct FrozenWindow {
+    window: Window,
+    summary: FilterSummary,
+    size: usize,
+}
+
+impl FrozenWindow {
+    /// Freezes a window, computing its size estimate and filter summary
+    /// once. This is the single encode point of the capture path: every
+    /// downstream destination (relay buffer, chained relays, bootstrap log,
+    /// served consumer views) shares the result.
+    pub fn freeze(window: Window) -> SharedWindow {
+        let size = window.size_estimate();
+        let summary = FilterSummary::of(&window.changes);
+        Arc::new(FrozenWindow {
+            window,
+            summary,
+            size,
+        })
+    }
+
+    /// The immutable event data.
+    pub fn window(&self) -> &Window {
+        &self.window
+    }
+
+    /// Cached serialized-size estimate (buffer accounting).
+    pub fn size_estimate(&self) -> usize {
+        self.size
+    }
+
+    /// The ingest-time filter summary.
+    pub fn summary(&self) -> &FilterSummary {
+        &self.summary
+    }
+}
+
+impl Deref for FrozenWindow {
+    type Target = Window;
+
+    fn deref(&self) -> &Window {
+        &self.window
+    }
+}
+
+/// A frozen window shared between the relay buffer and its consumers.
+pub type SharedWindow = Arc<FrozenWindow>;
+
+/// A served view of one transaction window. The unfiltered fast path hands
+/// out `Shared` views that alias the relay's buffer memory (zero per-change
+/// work, zero copies); filtering that actually drops changes produces an
+/// `Owned` trimmed window whose surviving payload `Bytes` still alias the
+/// buffer. Derefs to [`Window`], so consumers read `view.scn`,
+/// `view.changes`, … unchanged.
+#[derive(Debug, Clone)]
+pub enum WindowView {
+    /// Direct shared view of relay buffer memory.
+    Shared(SharedWindow),
+    /// Filter-trimmed (possibly emptied) window; payloads still share the
+    /// buffer's `Bytes` allocations.
+    Owned(Window),
+}
+
+impl WindowView {
+    /// The window data, wherever it lives.
+    pub fn as_window(&self) -> &Window {
+        match self {
+            WindowView::Shared(shared) => shared.window(),
+            WindowView::Owned(window) => window,
+        }
+    }
+
+    /// Materializes an owned window (legacy eager API).
+    pub fn into_window(self) -> Window {
+        match self {
+            WindowView::Shared(shared) => shared.window().clone(),
+            WindowView::Owned(window) => window,
+        }
+    }
+
+    /// The shared frozen window, when the view is untrimmed.
+    pub fn into_shared(self) -> Option<SharedWindow> {
+        match self {
+            WindowView::Shared(shared) => Some(shared),
+            WindowView::Owned(_) => None,
+        }
+    }
+
+    /// True when the view aliases relay buffer memory wholesale (the
+    /// zero-copy fast path).
+    pub fn is_shared(&self) -> bool {
+        matches!(self, WindowView::Shared(_))
+    }
+}
+
+impl Deref for WindowView {
+    type Target = Window;
+
+    fn deref(&self) -> &Window {
+        self.as_window()
+    }
+}
+
+impl PartialEq for WindowView {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_window() == other.as_window()
+    }
+}
+
+impl Eq for WindowView {}
+
+impl PartialEq<Window> for WindowView {
+    fn eq(&self, other: &Window) -> bool {
+        self.as_window() == other
+    }
+}
+
 /// The partition of a row change: a stable hash of the key's first path
 /// element (the partitioning axis — Espresso's `resource_id`), mod the
 /// subscriber group's partition count.
@@ -121,6 +303,12 @@ impl ServerFilter {
         }
     }
 
+    /// True when the filter passes everything (the unfiltered fast path:
+    /// serving does zero per-change work).
+    pub fn is_pass_all(&self) -> bool {
+        self.tables.is_none() && self.partitions.is_none()
+    }
+
     /// True when `change` passes the filter.
     pub fn matches(&self, change: &RowChange) -> bool {
         if let Some(tables) = &self.tables {
@@ -141,7 +329,7 @@ impl ServerFilter {
     /// even when all changes are filtered out — consumers still need the
     /// checkpoint to advance.
     pub fn apply(&self, window: &Window) -> Window {
-        if self.tables.is_none() && self.partitions.is_none() {
+        if self.is_pass_all() {
             return window.clone();
         }
         Window {
@@ -155,6 +343,44 @@ impl ServerFilter {
                 .cloned()
                 .collect(),
         }
+    }
+
+    /// Applies the filter to a frozen window, producing the cheapest view
+    /// that is event-for-event equivalent to [`ServerFilter::apply`]:
+    ///
+    /// * pass-all filter → `Shared` (one `Arc` clone, zero per-change work);
+    /// * summary says no change can match → `Owned` empty window without
+    ///   touching a single change (the O(1) filter-skip path);
+    /// * every change matches → `Shared` (the trim would be the identity);
+    /// * otherwise → `Owned` trimmed window whose surviving payloads still
+    ///   alias the buffer's `Bytes`.
+    pub fn apply_view(&self, shared: &SharedWindow) -> WindowView {
+        if self.is_pass_all() {
+            return WindowView::Shared(Arc::clone(shared));
+        }
+        let window = shared.window();
+        if !shared.summary().may_match(self) {
+            return WindowView::Owned(Window {
+                source_db: window.source_db.clone(),
+                scn: window.scn,
+                timestamp: window.timestamp,
+                changes: Vec::new(),
+            });
+        }
+        if window.changes.iter().all(|c| self.matches(c)) {
+            return WindowView::Shared(Arc::clone(shared));
+        }
+        WindowView::Owned(Window {
+            source_db: window.source_db.clone(),
+            scn: window.scn,
+            timestamp: window.timestamp,
+            changes: window
+                .changes
+                .iter()
+                .filter(|c| self.matches(c))
+                .cloned()
+                .collect(),
+        })
     }
 }
 

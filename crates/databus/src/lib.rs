@@ -10,9 +10,12 @@
 //! * [`relay`] — captures changes from the source database, serializes them
 //!   to a source-independent format, and buffers them in an in-memory
 //!   circular buffer with an SCN index and server-side filters. Serving
-//!   from the buffer is the "default serving path with very low latency";
-//!   a client that has fallen off the buffer's tail gets
-//!   [`relay::RelayError::ScnNotFound`] and must bootstrap.
+//!   from the buffer is the "default serving path with very low latency":
+//!   windows are frozen once at ingest ([`event::FrozenWindow`]) and every
+//!   consumer gets zero-copy shared views ([`event::WindowView`]) located
+//!   under a range-lookup-only lock. A client that has fallen off the
+//!   buffer's tail gets [`relay::RelayError::ScnNotFound`] and must
+//!   bootstrap.
 //! * [`bootstrap`] — "listen\[s\] to the stream of Databus events and
 //!   provide\[s\] long-term storage for them", with the two query types of
 //!   Figure III.3: **consolidated delta since T** (only the last update per
@@ -74,6 +77,6 @@ pub mod transform;
 pub use bootstrap::{BootstrapServer, DeltaResult, SnapshotResult};
 pub use capture::{LogShippingAdapter, PollingAdapter};
 pub use client::{ConsumerCallback, DatabusClient, DatabusError};
-pub use event::{ServerFilter, Window};
+pub use event::{FilterSummary, FrozenWindow, ServerFilter, SharedWindow, Window, WindowView};
 pub use relay::{Relay, RelayError};
 pub use transform::{TransformRule, Transformation};

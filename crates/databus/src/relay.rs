@@ -14,26 +14,40 @@
 //! server. Because windows are stored in SCN order and SCNs are dense per
 //! source, locating a start SCN is a binary search (the paper's "index
 //! structures").
+//!
+//! # Serving-path ownership (zero-copy fan-out)
+//!
+//! Every ingested window is frozen once into an [`SharedWindow`]
+//! (`Arc<FrozenWindow>`) carrying a cached size estimate and an ingest-time
+//! [`crate::event::FilterSummary`]. The buffer mutex is held only to locate
+//! the `(start, len)` range by the dense-SCN computation and to clone the
+//! cheap `Arc`s; all filter evaluation happens on the *caller's* thread,
+//! outside the lock. An unfiltered consumer gets [`WindowView::Shared`]
+//! views that alias buffer memory — zero per-change work per serve — so
+//! serving cost no longer scales with consumers × buffered bytes and
+//! hundreds of consumers do not serialize on the buffer lock.
 
 use li_commons::metrics::{Counter, Gauge, MetricsRegistry};
 use parking_lot::Mutex;
+use std::collections::VecDeque;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::collections::VecDeque;
 use std::sync::Arc;
 
 use li_sqlstore::{BinlogEntry, Scn, ShipError, Shipper};
 
-use crate::event::{ServerFilter, Window};
+use crate::event::{FrozenWindow, ServerFilter, SharedWindow, Window, WindowView};
 
 /// Relay observability under `databus.relay.<source>.`: change events
-/// relayed to clients, windows ingested from the source, and the newest
-/// buffered SCN (the reference point for client lag).
+/// relayed to clients, windows ingested from the source, the newest
+/// buffered SCN (the reference point for client lag), and reads absorbed
+/// while serving was paused (stall-vs-idle disambiguation).
 #[derive(Debug, Clone)]
 struct RelayMetrics {
     events_relayed: Counter,
     windows_in: Counter,
     newest_scn: Gauge,
+    served_while_paused: Counter,
 }
 
 impl RelayMetrics {
@@ -43,6 +57,7 @@ impl RelayMetrics {
             events_relayed: scope.counter("events_relayed"),
             windows_in: scope.counter("windows_ingested"),
             newest_scn: scope.gauge("newest_scn"),
+            served_while_paused: scope.counter("served_while_paused"),
         }
     }
 }
@@ -84,8 +99,23 @@ impl std::error::Error for RelayError {}
 
 #[derive(Debug, Default)]
 struct Buffer {
-    windows: VecDeque<Window>,
+    windows: VecDeque<SharedWindow>,
     bytes: usize,
+    /// The SCN the next ingested window must carry. Zero means "unset" (a
+    /// fresh relay, or one chained mid-stream, accepts any start). Unlike
+    /// the window deque, this watermark survives eviction and full drains,
+    /// so an SCN gap can never silently open a hole in the stream.
+    expected_next: Scn,
+}
+
+impl Buffer {
+    /// Validates one candidate SCN against the watermark.
+    fn check_scn(&self, expected: Scn, got: Scn) -> Result<(), RelayError> {
+        if expected != 0 && got != expected {
+            return Err(RelayError::OutOfOrder { got, expected });
+        }
+        Ok(())
+    }
 }
 
 /// A Databus relay. Thread-safe; share via `Arc`. One relay buffers one
@@ -104,6 +134,10 @@ pub struct Relay {
     /// client reads the relay absorbed (that never touched the source DB).
     reads_served: AtomicU64,
     windows_ingested: AtomicU64,
+    /// Reads answered while serving was paused: the signal that lets a
+    /// consumer (or an operator) tell "relay stalled" apart from "stream
+    /// idle" — both look like an empty response on the wire.
+    served_while_paused: AtomicU64,
     registry: Arc<MetricsRegistry>,
     metrics: RelayMetrics,
 }
@@ -142,6 +176,7 @@ impl Relay {
             paused: std::sync::atomic::AtomicBool::new(false),
             reads_served: AtomicU64::new(0),
             windows_ingested: AtomicU64::new(0),
+            served_while_paused: AtomicU64::new(0),
             registry: Arc::clone(registry),
         }
     }
@@ -159,16 +194,47 @@ impl Relay {
     /// Ingests one committed transaction. SCNs must be dense and
     /// increasing.
     pub fn ingest(&self, window: Window) -> Result<(), RelayError> {
-        let mut buffer = self.buffer.lock();
-        let expected = buffer.windows.back().map_or(window.scn, |w| w.scn + 1);
-        if window.scn != expected && !buffer.windows.is_empty() {
-            return Err(RelayError::OutOfOrder {
-                got: window.scn,
-                expected,
-            });
+        self.ingest_shared(FrozenWindow::freeze(window))
+    }
+
+    /// Ingests an already-frozen window (zero-copy chaining: the upstream
+    /// relay, this relay, and every consumer share one allocation).
+    pub fn ingest_shared(&self, window: SharedWindow) -> Result<(), RelayError> {
+        self.ingest_shared_batch(std::iter::once(window)).map(|_| ())
+    }
+
+    /// Batched ingest: freezes each window once and takes the buffer lock
+    /// once for the whole batch. The batch is atomic — an SCN gap anywhere
+    /// in it rejects the entire batch with nothing ingested.
+    pub fn ingest_batch(&self, windows: Vec<Window>) -> Result<usize, RelayError> {
+        // Freeze (encode + summarize) outside the lock.
+        let frozen: Vec<SharedWindow> = windows.into_iter().map(FrozenWindow::freeze).collect();
+        self.ingest_shared_batch(frozen)
+    }
+
+    /// Batched shared ingest: one lock acquisition, one eviction pass, one
+    /// metrics update for the whole batch. Validates the full SCN chain
+    /// before mutating anything (atomic accept/reject).
+    pub fn ingest_shared_batch(
+        &self,
+        windows: impl IntoIterator<Item = SharedWindow>,
+    ) -> Result<usize, RelayError> {
+        let windows: Vec<SharedWindow> = windows.into_iter().collect();
+        if windows.is_empty() {
+            return Ok(0);
         }
-        buffer.bytes += window.size_estimate();
-        buffer.windows.push_back(window);
+        let mut buffer = self.buffer.lock();
+        // Validate the whole chain against the watermark first.
+        let mut expected = buffer.expected_next;
+        for window in &windows {
+            buffer.check_scn(expected, window.window().scn)?;
+            expected = window.window().scn + 1;
+        }
+        for window in &windows {
+            buffer.bytes += window.size_estimate();
+            buffer.expected_next = window.window().scn + 1;
+            buffer.windows.push_back(Arc::clone(window));
+        }
         // Evict whole windows from the head until within budget (always
         // keep at least the newest window).
         while buffer.bytes > self.max_bytes && buffer.windows.len() > 1 {
@@ -176,12 +242,13 @@ impl Relay {
                 buffer.bytes -= evicted.size_estimate();
             }
         }
-        self.windows_ingested.fetch_add(1, Ordering::Relaxed);
-        self.metrics.windows_in.inc();
-        self.metrics
-            .newest_scn
-            .set(buffer.windows.back().map_or(0, |w| w.scn) as i64);
-        Ok(())
+        let newest = buffer.windows.back().map_or(0, |w| w.window().scn);
+        drop(buffer);
+        let n = windows.len();
+        self.windows_ingested.fetch_add(n as u64, Ordering::Relaxed);
+        self.metrics.windows_in.add(n as u64);
+        self.metrics.newest_scn.set(newest as i64);
+        Ok(n)
     }
 
     /// Ingests straight from a source binlog entry.
@@ -189,14 +256,29 @@ impl Relay {
         self.ingest(Window::from_binlog(source_db, entry))
     }
 
+    /// Restores the dense-SCN watermark after a relay restart: subsequent
+    /// ingests must resume at exactly `next_expected`, so a gap between
+    /// what was captured before the crash and what arrives after it is
+    /// rejected as [`RelayError::OutOfOrder`] instead of silently opening
+    /// a hole in the stream.
+    pub fn resume_expecting(&self, next_expected: Scn) {
+        self.buffer.lock().expected_next = next_expected;
+    }
+
+    /// The SCN the next ingest must carry (0 when the relay has never
+    /// ingested and no watermark was restored).
+    pub fn expected_next_scn(&self) -> Scn {
+        self.buffer.lock().expected_next
+    }
+
     /// Oldest SCN still buffered (0 when empty).
     pub fn oldest_scn(&self) -> Scn {
-        self.buffer.lock().windows.front().map_or(0, |w| w.scn)
+        self.buffer.lock().windows.front().map_or(0, |w| w.window().scn)
     }
 
     /// Newest SCN buffered (0 when empty).
     pub fn newest_scn(&self) -> Scn {
-        self.buffer.lock().windows.back().map_or(0, |w| w.scn)
+        self.buffer.lock().windows.back().map_or(0, |w| w.window().scn)
     }
 
     /// Number of buffered windows.
@@ -210,51 +292,90 @@ impl Relay {
     }
 
     /// Serves up to `max_windows` windows with `scn > after_scn`, filtered
-    /// server-side. This is the default (hot) serving path.
-    ///
-    /// Fails with [`RelayError::ScnNotFound`] when `after_scn` predates the
-    /// buffer: the client has fallen behind and must bootstrap — serving it
-    /// from here would require going back to the source database, which the
-    /// relay exists to isolate.
+    /// server-side. Legacy eager adapter over [`Relay::events_after_shared`]
+    /// — materializes an owned clone per window; prefer the shared-view
+    /// path for anything hot.
     pub fn events_after(
         &self,
         after_scn: Scn,
         max_windows: usize,
         filter: &ServerFilter,
     ) -> Result<Vec<Window>, RelayError> {
+        Ok(self
+            .events_after_shared(after_scn, max_windows, filter)?
+            .into_iter()
+            .map(WindowView::into_window)
+            .collect())
+    }
+
+    /// The default (hot) serving path: up to `max_windows` windows with
+    /// `scn > after_scn`, filtered server-side, as zero-copy views.
+    ///
+    /// The buffer lock is held only long enough to locate the
+    /// `(start, len)` range (a dense-SCN index computation) and clone the
+    /// range's `Arc`s; filter evaluation runs on the caller's thread. With
+    /// a pass-all filter every view is [`WindowView::Shared`] and serving
+    /// does zero per-change work; a filtered consumer skips windows whose
+    /// ingest-time summary proves no change can match without touching
+    /// their payloads.
+    ///
+    /// Fails with [`RelayError::ScnNotFound`] when `after_scn` predates the
+    /// buffer: the client has fallen behind and must bootstrap — serving it
+    /// from here would require going back to the source database, which the
+    /// relay exists to isolate.
+    pub fn events_after_shared(
+        &self,
+        after_scn: Scn,
+        max_windows: usize,
+        filter: &ServerFilter,
+    ) -> Result<Vec<WindowView>, RelayError> {
         if self.is_paused() {
+            self.served_while_paused.fetch_add(1, Ordering::Relaxed);
+            self.metrics.served_while_paused.inc();
             return Ok(Vec::new());
         }
-        let buffer = self.buffer.lock();
-        let oldest = buffer.windows.front().map_or(0, |w| w.scn);
-        let newest = buffer.windows.back().map_or(0, |w| w.scn);
-        if buffer.windows.is_empty() || after_scn >= newest {
-            // Fully caught up (or empty): nothing to serve.
+        // Under the lock: bounds checks, dense-SCN range location, and
+        // cheap Arc clones — nothing proportional to payload bytes.
+        let shared: Vec<SharedWindow> = {
+            let buffer = self.buffer.lock();
+            let oldest = buffer.windows.front().map_or(0, |w| w.window().scn);
+            let newest = buffer.windows.back().map_or(0, |w| w.window().scn);
+            if buffer.windows.is_empty() || after_scn >= newest {
+                // Fully caught up (or empty): nothing to serve.
+                if after_scn + 1 < oldest {
+                    return Err(RelayError::ScnNotFound {
+                        requested: after_scn,
+                        oldest,
+                    });
+                }
+                self.reads_served.fetch_add(1, Ordering::Relaxed);
+                return Ok(Vec::new());
+            }
             if after_scn + 1 < oldest {
                 return Err(RelayError::ScnNotFound {
                     requested: after_scn,
                     oldest,
                 });
             }
-            self.reads_served.fetch_add(1, Ordering::Relaxed);
-            return Ok(Vec::new());
-        }
-        if after_scn + 1 < oldest {
-            return Err(RelayError::ScnNotFound {
-                requested: after_scn,
-                oldest,
-            });
-        }
-        // Dense SCNs: the first window to serve sits at a computable index.
-        let start = (after_scn + 1 - oldest) as usize;
-        let out: Vec<Window> = buffer
-            .windows
-            .iter()
-            .skip(start)
-            .take(max_windows)
-            .map(|w| filter.apply(w))
-            .collect();
+            // Dense SCNs: the first window to serve sits at a computable
+            // index.
+            let start = (after_scn + 1 - oldest) as usize;
+            buffer
+                .windows
+                .iter()
+                .skip(start)
+                .take(max_windows)
+                .map(Arc::clone)
+                .collect()
+        };
         self.reads_served.fetch_add(1, Ordering::Relaxed);
+        // Outside the lock: per-consumer filter work on the caller's
+        // thread. Pass-all short-circuits to pure Arc moves.
+        let out: Vec<WindowView> = if filter.is_pass_all() {
+            shared.into_iter().map(WindowView::Shared).collect()
+        } else {
+            shared.iter().map(|w| filter.apply_view(w)).collect()
+        };
         let events: usize = out.iter().map(|w| w.changes.len()).sum();
         self.metrics.events_relayed.add(events as u64);
         Ok(out)
@@ -264,16 +385,16 @@ impl Relay {
     /// does not yet have. "We typically run multiple shared-nothing relays
     /// that are either connected directly to the database, or to other
     /// relays to provide replicated availability of the change stream"
-    /// (§III.C). Returns windows copied.
+    /// (§III.C). Zero-copy: both relays' buffers share the same frozen
+    /// windows. Returns windows linked.
     pub fn chain_from(&self, upstream: &Relay) -> Result<usize, RelayError> {
         let have = self.newest_scn();
-        let windows = upstream.events_after(have, usize::MAX, &ServerFilter::all())?;
-        let mut copied = 0;
-        for window in windows {
-            self.ingest(window)?;
-            copied += 1;
-        }
-        Ok(copied)
+        let views = upstream.events_after_shared(have, usize::MAX, &ServerFilter::all())?;
+        self.ingest_shared_batch(
+            views
+                .into_iter()
+                .map(|v| v.into_shared().expect("pass-all views are shared")),
+        )
     }
 
     /// Number of client reads served from the buffer (source isolation
@@ -286,6 +407,13 @@ impl Relay {
     /// cost, independent of consumer count).
     pub fn windows_ingested(&self) -> u64 {
         self.windows_ingested.load(Ordering::Relaxed)
+    }
+
+    /// Number of reads answered (with an empty result) while serving was
+    /// paused. A growing value alongside growing client lag means the
+    /// relay is stalled, not idle.
+    pub fn served_while_paused(&self) -> u64 {
+        self.served_while_paused.load(Ordering::Relaxed)
     }
 
     /// Chaos pause hook: while paused the relay ingests but serves
@@ -311,7 +439,8 @@ impl Relay {
         let mut last_scn: Option<Scn> = None;
         let mut last_etag: std::collections::HashMap<(String, String), u64> =
             std::collections::HashMap::new();
-        for window in &buffer.windows {
+        for frozen in &buffer.windows {
+            let window = frozen.window();
             if let Some(prev) = last_scn {
                 if window.scn != prev + 1 {
                     return Err(format!(
@@ -356,6 +485,19 @@ impl Shipper for Relay {
     fn ship(&self, source: &str, entry: &BinlogEntry) -> Result<(), ShipError> {
         self.ingest_binlog(source, entry)
             .map_err(|e| ShipError(e.to_string()))
+    }
+
+    /// Batched shipping: each entry is frozen once and the buffer lock is
+    /// taken once for the whole batch.
+    fn ship_batch(&self, source: &str, entries: &[BinlogEntry]) -> Result<(), ShipError> {
+        self.ingest_batch(
+            entries
+                .iter()
+                .map(|e| Window::from_binlog(source, e))
+                .collect(),
+        )
+        .map(|_| ())
+        .map_err(|e| ShipError(e.to_string()))
     }
 }
 
@@ -458,6 +600,50 @@ mod tests {
     }
 
     #[test]
+    fn restored_watermark_rejects_scn_gap_after_restart() {
+        // Before the watermark, a restarted (empty) relay accepted any
+        // starting SCN — a gap between pre-crash capture and post-restart
+        // ingest silently created a hole. Now the hole is an error.
+        let pre_crash = Relay::new("primary", 1 << 20);
+        for scn in 1..=5 {
+            pre_crash.ingest(window(scn, 10)).unwrap();
+        }
+
+        let restarted = Relay::new("primary", 1 << 20);
+        restarted.resume_expecting(pre_crash.newest_scn() + 1);
+        assert_eq!(restarted.expected_next_scn(), 6);
+        // The source moved on while the relay was down: SCN 8 arrives.
+        assert_eq!(
+            restarted.ingest(window(8, 10)).unwrap_err(),
+            RelayError::OutOfOrder { got: 8, expected: 6 }
+        );
+        // Replaying from the watermark is accepted.
+        restarted.ingest(window(6, 10)).unwrap();
+        restarted.ingest(window(7, 10)).unwrap();
+        restarted.ingest(window(8, 10)).unwrap();
+        assert_eq!(restarted.newest_scn(), 8);
+    }
+
+    #[test]
+    fn batch_ingest_is_atomic_and_single_lock() {
+        let relay = Relay::new("primary", 1 << 20);
+        assert_eq!(
+            relay.ingest_batch((1..=10).map(|scn| window(scn, 10)).collect()).unwrap(),
+            10
+        );
+        assert_eq!(relay.newest_scn(), 10);
+        // A gap anywhere rejects the whole batch: nothing ingested.
+        let err = relay
+            .ingest_batch(vec![window(11, 10), window(13, 10)])
+            .unwrap_err();
+        assert_eq!(err, RelayError::OutOfOrder { got: 13, expected: 12 });
+        assert_eq!(relay.newest_scn(), 10, "atomic reject");
+        assert_eq!(relay.windows_ingested(), 10);
+        // Empty batch is a no-op.
+        assert_eq!(relay.ingest_batch(Vec::new()).unwrap(), 0);
+    }
+
+    #[test]
     fn server_side_filter_applied() {
         let relay = Relay::new("primary", 1 << 20);
         relay.ingest(window(1, 10)).unwrap();
@@ -465,6 +651,72 @@ mod tests {
         let got = relay.events_after(0, 10, &filter).unwrap();
         assert_eq!(got.len(), 1, "window delivered for checkpointing");
         assert!(got[0].is_empty(), "changes filtered out");
+    }
+
+    #[test]
+    fn unfiltered_views_share_buffer_allocation() {
+        // The zero-copy contract at the relay level: two independent
+        // consumers' views are the *same* frozen window, and their payload
+        // bytes alias the allocation that was ingested.
+        let payload = Bytes::from(vec![b'z'; 512]);
+        let relay = Relay::new("primary", 1 << 20);
+        relay
+            .ingest(Window {
+                source_db: "primary".into(),
+                scn: 1,
+                timestamp: 1,
+                changes: vec![RowChange {
+                    table: "member".into(),
+                    key: RowKey::single("k"),
+                    op: Op::Put(Row::new(payload.clone(), 1)),
+                }],
+            })
+            .unwrap();
+        let a = relay.events_after_shared(0, 10, &ServerFilter::all()).unwrap();
+        let b = relay.events_after_shared(0, 10, &ServerFilter::all()).unwrap();
+        assert!(a[0].is_shared() && b[0].is_shared());
+        let (WindowView::Shared(sa), WindowView::Shared(sb)) = (&a[0], &b[0]) else {
+            unreachable!()
+        };
+        assert!(Arc::ptr_eq(sa, sb), "consumers share one frozen window");
+        let Op::Put(row) = &a[0].changes[0].op else { unreachable!() };
+        assert!(
+            row.value.shares_allocation(&payload),
+            "served payload aliases the ingested allocation"
+        );
+    }
+
+    #[test]
+    fn filter_summary_skips_non_matching_windows_without_trim_work() {
+        let relay = Relay::new("primary", 1 << 20);
+        relay.ingest(window(1, 10)).unwrap(); // table "member"
+        let filter = ServerFilter::for_tables(["company"]);
+        let got = relay.events_after_shared(0, 10, &filter).unwrap();
+        assert_eq!(got.len(), 1);
+        assert!(!got[0].is_shared(), "summary-skip produces an owned empty view");
+        assert!(got[0].is_empty());
+        assert_eq!(got[0].scn, 1, "scn preserved for checkpointing");
+        // A filter that matches everything in the window stays shared.
+        let all_match = ServerFilter::for_tables(["member"]);
+        let got = relay.events_after_shared(0, 10, &all_match).unwrap();
+        assert!(got[0].is_shared(), "all-match trim is the identity");
+    }
+
+    #[test]
+    fn paused_relay_counts_stalled_serves() {
+        let relay = Relay::new("primary", 1 << 20);
+        relay.ingest(window(1, 10)).unwrap();
+        assert_eq!(relay.served_while_paused(), 0);
+        relay.set_paused(true);
+        assert!(relay.events_after(0, 10, &ServerFilter::all()).unwrap().is_empty());
+        assert!(relay.events_after(0, 10, &ServerFilter::all()).unwrap().is_empty());
+        assert_eq!(relay.served_while_paused(), 2, "stall is observable");
+        // Ingestion continues while paused; lag reference keeps moving.
+        relay.ingest(window(2, 10)).unwrap();
+        assert_eq!(relay.newest_scn(), 2);
+        relay.set_paused(false);
+        assert_eq!(relay.events_after(0, 10, &ServerFilter::all()).unwrap().len(), 2);
+        assert_eq!(relay.served_while_paused(), 2, "unpaused serves not counted");
     }
 
     #[test]
@@ -480,6 +732,15 @@ mod tests {
         let a = primary_relay.events_after(0, 100, &ServerFilter::all()).unwrap();
         let b = replica_relay.events_after(0, 100, &ServerFilter::all()).unwrap();
         assert_eq!(a, b);
+        // Zero-copy chaining: both buffers hold the same frozen windows.
+        let av = primary_relay.events_after_shared(0, 100, &ServerFilter::all()).unwrap();
+        let bv = replica_relay.events_after_shared(0, 100, &ServerFilter::all()).unwrap();
+        for (x, y) in av.iter().zip(&bv) {
+            let (WindowView::Shared(x), WindowView::Shared(y)) = (x, y) else {
+                unreachable!()
+            };
+            assert!(Arc::ptr_eq(x, y), "chained relays share window memory");
+        }
         // Incremental chaining keeps following.
         primary_relay.ingest(window(21, 10)).unwrap();
         assert_eq!(replica_relay.chain_from(&primary_relay).unwrap(), 1);

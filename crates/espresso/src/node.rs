@@ -474,8 +474,10 @@ impl StorageNode {
             tables: Some(tables),
             partitions: Some((num_partitions, vec![partition])),
         };
+        // Shared views: matching windows are read in place from the relay
+        // buffer; only partially-matching windows are trimmed into copies.
         let windows = source_relay
-            .events_after(checkpoint, usize::MAX, &filter)
+            .events_after_shared(checkpoint, usize::MAX, &filter)
             .map_err(|e| EspressoError::Replication(e.to_string()))?;
         let mut applied = 0;
         for window in &windows {

@@ -30,6 +30,17 @@ pub trait Shipper: Send + Sync {
     /// Delivers one committed entry from database `source`. Returning an
     /// error aborts the commit (the transaction never becomes visible).
     fn ship(&self, source: &str, entry: &BinlogEntry) -> Result<(), ShipError>;
+
+    /// Delivers a run of committed entries at once. Destinations that can
+    /// amortize per-delivery cost (e.g. one buffer-lock acquisition per
+    /// batch instead of per entry) override this; the default preserves
+    /// one-at-a-time semantics, stopping at the first failure.
+    fn ship_batch(&self, source: &str, entries: &[BinlogEntry]) -> Result<(), ShipError> {
+        for entry in entries {
+            self.ship(source, entry)?;
+        }
+        Ok(())
+    }
 }
 
 /// Blanket impl so closures can act as shippers in tests and examples.

@@ -18,6 +18,9 @@ cargo test -q --workspace
 echo "== quorum proptests: 64 cases (default is 24) =="
 QUORUM_PROPTEST_CASES=64 cargo test -q --test voldemort_quorum_props
 
+echo "== relay proptests: 64 cases (default is 24) =="
+RELAY_PROPTEST_CASES=64 cargo test -q --test databus_relay_props
+
 echo "== chaos sweep: 20 seeds x 5 scenarios (10 min budget) =="
 # Wider seed sweep than the per-test default of 5. Deterministic — only
 # the tail-fanout scenario sleeps (it replays simulated link latencies
