@@ -1,0 +1,190 @@
+//! Experiment C-24 (DESIGN.md / EXPERIMENTS.md): site-scale closed-loop
+//! throughput/latency knee under SLO gates.
+//!
+//! The paper's systems are specified tier by tier, but the site runs them
+//! *together*: profile reads against Espresso, PYMK against Voldemort
+//! read-only stores, follows through the primary → Databus → the Company
+//! Follow caches, activity events through Kafka into the warehouse. This
+//! bench drives that whole assembly with the closed-loop member
+//! population of `li_workload::site` (Zipfian follower counts, power-law
+//! write skew) and sweeps the driver count at a fixed population to find
+//! the throughput/latency knee — the offered load past which adding
+//! drivers buys little throughput while tier p99s inflate.
+//!
+//! Every load point re-runs the full SLO gate set of `site_bench`
+//! (per-tier p99, Databus/Kafka lag drained to zero, cross-tier write
+//! conservation), so a "fast" point that loses writes or leaves lag
+//! behind does not count. The knee is the highest-throughput point that
+//! still clears every gate. Snapshot lives in BENCH_site_scale.json.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use li_workload::SiteGraph;
+use linkedin_data_infra::{
+    PlatformConfig, SiteBench, SiteBenchConfig, SiteBenchReport, SloThresholds,
+};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Duration;
+
+const MEMBERS: u64 = 2000;
+// Every load point performs the same total work; the driver count only
+// changes how concurrently it is offered. This keeps throughput figures
+// comparable across points and each point long enough to measure.
+const OPS_TOTAL: usize = 12800;
+const SEED: u64 = 42;
+const DRIVER_SWEEP: [usize; 6] = [1, 2, 4, 8, 16, 32];
+
+/// The sweep's serving budgets — far tighter than the CI smoke budgets:
+/// reads must stay in single-digit milliseconds at p99 and the primary's
+/// serialized follow write under 25ms. The knee is where offered load
+/// can no longer grow without blowing one of these.
+fn sweep_slo() -> SloThresholds {
+    SloThresholds {
+        profile_read_p99: Duration::from_millis(10),
+        pymk_read_p99: Duration::from_millis(10),
+        follow_write_p99: Duration::from_millis(25),
+        activity_p99: Duration::from_millis(10),
+    }
+}
+
+fn platform_shape() -> PlatformConfig {
+    PlatformConfig {
+        voldemort_nodes: 3,
+        kafka_brokers: 2,
+        espresso_nodes: 3,
+        espresso_partitions: 8,
+        activity_partitions: 4,
+    }
+}
+
+fn point_config(drivers: usize, ops_per_driver: usize) -> SiteBenchConfig {
+    let mut config = SiteBenchConfig::smoke(MEMBERS, drivers, ops_per_driver, SEED);
+    config.platform = platform_shape();
+    config.slo = sweep_slo();
+    config
+}
+
+fn run_point(graph: &Arc<SiteGraph>, drivers: usize) -> SiteBenchReport {
+    let bench = SiteBench::prepare_with_graph(
+        point_config(drivers, OPS_TOTAL / drivers),
+        graph.clone(),
+    )
+    .expect("prepare load point");
+    bench.run().expect("run load point")
+}
+
+fn p99_ms(report: &SiteBenchReport, tier: &str) -> f64 {
+    report
+        .tier_latency
+        .get(tier)
+        .map(|h| h.p99 as f64 / 1e6)
+        .unwrap_or(0.0)
+}
+
+fn sweep() {
+    // One population for every point: the knee must come from load, not
+    // from a different graph shape per point.
+    let graph = Arc::new(SiteGraph::generate(&point_config(1, OPS_TOTAL).graph));
+
+    println!("\n=== C-24: site closed-loop knee (population {MEMBERS}, {OPS_TOTAL} ops/point) ===");
+    println!(
+        "{:>8} {:>10} {:>12} {:>12} {:>12} {:>12} {:>12} {:>8}",
+        "drivers",
+        "ops",
+        "ops/s",
+        "profile p99",
+        "pymk p99",
+        "follow p99",
+        "activity p99",
+        "slo_ok"
+    );
+    let mut points = Vec::new();
+    for drivers in DRIVER_SWEEP {
+        let report = run_point(&graph, drivers);
+        let slo_ok = report.all_gates_pass();
+        println!(
+            "{:>8} {:>10} {:>12.0} {:>9.3}ms {:>9.3}ms {:>9.3}ms {:>9.3}ms {:>8}",
+            drivers,
+            report.ops_acked,
+            report.throughput_ops_per_sec,
+            p99_ms(&report, "profile_read"),
+            p99_ms(&report, "pymk_read"),
+            p99_ms(&report, "follow_write"),
+            p99_ms(&report, "activity"),
+            slo_ok
+        );
+        if !slo_ok {
+            for failure in report.gate_failures() {
+                println!("         gate {}: {}", failure.name, failure.detail);
+            }
+        }
+        points.push((drivers, report, slo_ok));
+    }
+
+    // The knee: the highest-throughput point that still clears every SLO
+    // gate. Past it, offered load only buys latency (or gate failures).
+    let knee = points
+        .iter()
+        .filter(|(_, _, ok)| *ok)
+        .max_by(|a, b| {
+            a.1.throughput_ops_per_sec
+                .total_cmp(&b.1.throughput_ops_per_sec)
+        })
+        .map(|(drivers, _, _)| *drivers)
+        .expect("at least one load point must clear the gates");
+    println!("knee: {knee} drivers (highest-throughput SLO-clean point)");
+
+    // Machine-readable snapshot (recorded into BENCH_site_scale.json).
+    let results: Vec<String> = points
+        .iter()
+        .map(|(drivers, report, slo_ok)| {
+            format!(
+                "{{ \"drivers\": {drivers}, \"ops_acked\": {}, \"throughput_ops_per_sec\": {:.1}, \
+                 \"profile_read_p99_ms\": {:.3}, \"pymk_read_p99_ms\": {:.3}, \
+                 \"follow_write_p99_ms\": {:.3}, \"activity_p99_ms\": {:.3}, \
+                 \"slo_ok\": {slo_ok}, \"knee\": {} }}",
+                report.ops_acked,
+                report.throughput_ops_per_sec,
+                p99_ms(report, "profile_read"),
+                p99_ms(report, "pymk_read"),
+                p99_ms(report, "follow_write"),
+                p99_ms(report, "activity"),
+                *drivers == knee
+            )
+        })
+        .collect();
+    println!(
+        "JSON: {{ \"members\": {MEMBERS}, \"ops_total\": {OPS_TOTAL}, \"seed\": {SEED}, \
+         \"knee_drivers\": {knee}, \"results\": [{}] }}",
+        results.join(", ")
+    );
+}
+
+fn bench_site_scale(c: &mut Criterion) {
+    sweep();
+
+    // Standard criterion report: one small end-to-end closed-loop run
+    // (prepare + drive + gate evaluation) as a regression canary.
+    let config = {
+        let mut config = SiteBenchConfig::smoke(400, 2, 100, SEED);
+        config.platform = platform_shape();
+        config
+    };
+    let graph = Arc::new(SiteGraph::generate(&config.graph));
+    let mut group = c.benchmark_group("site_scale");
+    group.sample_size(10);
+    group.bench_function("smoke_run", |b| {
+        b.iter(|| {
+            let bench = SiteBench::prepare_with_graph(config.clone(), graph.clone()).unwrap();
+            black_box(bench.run().unwrap())
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_site_scale
+}
+criterion_main!(benches);

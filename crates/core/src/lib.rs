@@ -22,8 +22,10 @@
 
 pub mod consumers;
 pub mod platform;
+pub mod site_bench;
 
-pub use platform::DataPlatform;
+pub use platform::{DataPlatform, PlatformConfig};
+pub use site_bench::{SiteBench, SiteBenchConfig, SiteBenchReport, SloThresholds};
 
 // The four systems, one roof.
 pub use li_commons as commons;

@@ -4,16 +4,21 @@
 use std::sync::Arc;
 use std::time::Duration;
 
+use bytes::Bytes;
 use li_commons::metrics::{MetricsRegistry, MetricsSnapshot};
 use li_commons::ring::{HashRing, NodeId};
+use li_commons::schema::{Field, FieldType, Record, RecordSchema, Value};
 use li_commons::sim::{RealClock, SimNetwork};
 use li_databus::{BootstrapServer, DatabusClient, LogShippingAdapter, Relay};
+use li_espresso::{DatabaseSchema, EspressoCluster, TableSchema};
 use li_kafka::audit::{AuditedProducer, AUDIT_TOPIC};
 use li_kafka::log::LogConfig;
 use li_kafka::mirror::{MirrorMaker, WarehouseLoader};
 use li_kafka::{KafkaCluster, Producer, SimpleConsumer};
 use li_sqlstore::Database;
+use li_voldemort::readonly::{ReadOnlyBuilder, ReadOnlyStore, ScratchDir};
 use li_voldemort::{StoreDef, VoldemortCluster};
+use parking_lot::Mutex;
 
 use crate::consumers::{
     company_row_key, member_row_key, parse_id_list, CompanyFollowCacher, SearchIndexer,
@@ -21,6 +26,15 @@ use crate::consumers::{
 
 /// Name of the activity-event topic.
 pub const ACTIVITY_TOPIC: &str = "activity";
+
+/// Espresso database holding member profile documents.
+pub const PROFILE_DB: &str = "Profiles";
+
+/// Table (and document schema) of [`PROFILE_DB`].
+pub const PROFILE_TABLE: &str = "Profile";
+
+/// Voldemort read-only store serving PYMK recommendations (§II.C).
+pub const PYMK_STORE: &str = "pymk";
 
 /// Errors from platform operations (stringly typed at this altitude: the
 /// facade aggregates seven subsystem error types).
@@ -39,6 +53,44 @@ fn wrap<E: std::fmt::Display>(e: E) -> PlatformError {
     PlatformError(e.to_string())
 }
 
+/// Sizing knobs for [`DataPlatform::with_config`]. `Default` matches the
+/// shape `DataPlatform::new(3, 2)` used to build, plus a 3-node Espresso
+/// tier.
+#[derive(Debug, Clone)]
+pub struct PlatformConfig {
+    /// Voldemort cache nodes.
+    pub voldemort_nodes: u16,
+    /// Brokers per Kafka cluster (live and offline each).
+    pub kafka_brokers: u16,
+    /// Espresso storage nodes for the profile database.
+    pub espresso_nodes: u16,
+    /// Partitions of the Espresso profile database.
+    pub espresso_partitions: u32,
+    /// Partitions of the activity topic.
+    pub activity_partitions: u32,
+}
+
+impl Default for PlatformConfig {
+    fn default() -> Self {
+        PlatformConfig {
+            voldemort_nodes: 3,
+            kafka_brokers: 2,
+            espresso_nodes: 3,
+            espresso_partitions: 8,
+            activity_partitions: 8,
+        }
+    }
+}
+
+/// The PYMK read-only tier: scratch "HDFS" build area, per-node local
+/// store directories, and the live store handles for pull/swap.
+struct PymkTier {
+    hdfs: ScratchDir,
+    _local: ScratchDir,
+    stores: Vec<Arc<ReadOnlyStore>>,
+    version: u64,
+}
+
 /// The assembled site backend.
 pub struct DataPlatform {
     /// The Oracle-analog primary database (source of truth).
@@ -55,6 +107,8 @@ pub struct DataPlatform {
     pub kafka_offline: Arc<KafkaCluster>,
     /// The people-search index subscriber.
     pub search: Arc<SearchIndexer>,
+    /// The Espresso cluster serving member profile documents.
+    pub espresso: Arc<EspressoCluster>,
 
     metrics: Arc<MetricsRegistry>,
     follow_cacher: DatabusClient,
@@ -62,12 +116,36 @@ pub struct DataPlatform {
     event_producer: AuditedProducer,
     mirror: MirrorMaker,
     warehouse: WarehouseLoader,
+    activity_partitions: u32,
+    /// Stand-in for the primary's row locks: `follow_company` does a
+    /// read-modify-write of two association rows, which concurrent
+    /// frontends would otherwise race (lost follows). A real RDBMS
+    /// serializes this inside the transaction; the in-process store
+    /// doesn't, so the facade does.
+    follow_lock: Mutex<()>,
+    pymk: Mutex<Option<PymkTier>>,
 }
 
 impl DataPlatform {
     /// Builds the platform: `voldemort_nodes` cache nodes and
-    /// `kafka_brokers` per Kafka cluster.
+    /// `kafka_brokers` per Kafka cluster (other knobs at their defaults).
     pub fn new(voldemort_nodes: u16, kafka_brokers: u16) -> Result<Self, PlatformError> {
+        Self::with_config(PlatformConfig {
+            voldemort_nodes,
+            kafka_brokers,
+            ..PlatformConfig::default()
+        })
+    }
+
+    /// Builds the platform from explicit sizing knobs.
+    pub fn with_config(config: PlatformConfig) -> Result<Self, PlatformError> {
+        let PlatformConfig {
+            voldemort_nodes,
+            kafka_brokers,
+            espresso_nodes,
+            espresso_partitions,
+            activity_partitions,
+        } = config;
         // One registry for the whole site: every tier below reports into
         // it, so a single snapshot shows the full pipeline.
         let metrics = MetricsRegistry::new();
@@ -133,7 +211,9 @@ impl DataPlatform {
         .map_err(wrap)?;
         let kafka_offline = KafkaCluster::new(kafka_brokers).map_err(wrap)?;
         for cluster in [&kafka_live, &kafka_offline] {
-            cluster.create_topic(ACTIVITY_TOPIC, 8).map_err(wrap)?;
+            cluster
+                .create_topic(ACTIVITY_TOPIC, activity_partitions)
+                .map_err(wrap)?;
             cluster.create_topic(AUDIT_TOPIC, 1).map_err(wrap)?;
         }
         let event_producer = AuditedProducer::new(
@@ -154,6 +234,28 @@ impl DataPlatform {
             Duration::from_secs(10),
         );
 
+        // Espresso tier: the profile documents' source-of-truth serving
+        // store (the paper's migration target for member profiles), on
+        // the same site-wide registry.
+        let espresso =
+            EspressoCluster::with_metrics(espresso_nodes, &metrics).map_err(wrap)?;
+        let profile_schema = DatabaseSchema::new(
+            PROFILE_DB,
+            espresso_partitions,
+            2.min(espresso_nodes as usize),
+        )
+        .with_table(
+            TableSchema::new(PROFILE_TABLE, ["member"]),
+            RecordSchema::new(
+                PROFILE_TABLE,
+                1,
+                vec![Field::new("text", FieldType::Str)],
+            )
+            .map_err(wrap)?,
+        )
+        .map_err(wrap)?;
+        espresso.create_database(profile_schema).map_err(wrap)?;
+
         Ok(DataPlatform {
             primary,
             relay,
@@ -162,12 +264,16 @@ impl DataPlatform {
             kafka_live,
             kafka_offline,
             search,
+            espresso,
             metrics,
             follow_cacher,
             search_client,
             event_producer,
             mirror,
             warehouse,
+            activity_partitions,
+            follow_lock: Mutex::new(()),
+            pymk: Mutex::new(None),
         })
     }
 
@@ -175,6 +281,10 @@ impl DataPlatform {
     /// updating both association rows. Derived stores learn about it via
     /// Databus — never written directly.
     pub fn follow_company(&self, member: u64, company: u64) -> Result<(), PlatformError> {
+        // Serialize the two-row read-modify-write (see `follow_lock`):
+        // without this, two concurrent follows of the same member or
+        // company read the same base list and one follow is lost.
+        let _guard = self.follow_lock.lock();
         let member_key = member_row_key(member);
         let company_key = company_row_key(company);
         let mut followed = self
@@ -209,8 +319,19 @@ impl DataPlatform {
         Ok(())
     }
 
-    /// Updates a member's profile text (feeds the search index).
+    /// Updates a member's profile text. Dual-write, the paper's
+    /// migration-era shape: Espresso is the serving store for profile
+    /// reads, while the legacy primary row still feeds the search index
+    /// through Databus.
     pub fn update_profile(&self, member: u64, text: &str) -> Result<(), PlatformError> {
+        self.espresso
+            .put(
+                PROFILE_DB,
+                PROFILE_TABLE,
+                member_row_key(member),
+                &Record::new().with("text", Value::Str(text.into())),
+            )
+            .map_err(wrap)?;
         self.primary
             .put_one(
                 "member_profile",
@@ -220,6 +341,73 @@ impl DataPlatform {
             )
             .map_err(wrap)?;
         Ok(())
+    }
+
+    /// Serving read path for a member's profile text (from Espresso,
+    /// routed to the partition master — timeline-consistent).
+    pub fn profile(&self, member: u64) -> Result<Option<String>, PlatformError> {
+        let doc = self
+            .espresso
+            .get(PROFILE_DB, PROFILE_TABLE, &member_row_key(member))
+            .map_err(wrap)?;
+        Ok(doc.and_then(|(record, _row)| match record.get("text") {
+            Some(Value::Str(text)) => Some(text.clone()),
+            _ => None,
+        }))
+    }
+
+    /// Loads (or refreshes) the PYMK read-only store from an offline
+    /// "Hadoop job run": build → pull (data before index) → atomic swap,
+    /// exactly the Figure II.3 cycle. `records` are `(key, value)` pairs
+    /// keyed like [`Self::pymk_recommendations`] expects. Returns the
+    /// swapped-in version.
+    pub fn load_pymk(&self, records: Vec<(Bytes, Bytes)>) -> Result<u64, PlatformError> {
+        let mut tier = self.pymk.lock();
+        if tier.is_none() {
+            let hdfs = ScratchDir::new("platform-pymk-hdfs").map_err(wrap)?;
+            let local = ScratchDir::new("platform-pymk-local").map_err(wrap)?;
+            let stores = self
+                .voldemort
+                .add_read_only_store(StoreDef::read_only(PYMK_STORE), local.path())
+                .map_err(wrap)?;
+            *tier = Some(PymkTier {
+                hdfs,
+                _local: local,
+                stores,
+                version: 0,
+            });
+        }
+        let tier = tier.as_mut().expect("pymk tier initialized above");
+        let def = self.voldemort.store_def(PYMK_STORE).map_err(wrap)?;
+        let version = tier.version + 1;
+        let builder = ReadOnlyBuilder::new(self.voldemort.ring(), def.replication, 4);
+        let out = builder
+            .build(records, version, tier.hdfs.path())
+            .map_err(wrap)?;
+        for store in &tier.stores {
+            store
+                .pull(&out.node_dir(store.node()), version, None)
+                .map_err(wrap)?;
+        }
+        for store in &tier.stores {
+            store.swap(version).map_err(wrap)?;
+        }
+        tier.version = version;
+        Ok(version)
+    }
+
+    /// PYMK lookup: the member's serialized recommendation list from the
+    /// read-only store ([`li_workload::datasets::PymkRecord`] wire
+    /// format). `None` when the member has no recommendations or no PYMK
+    /// run has been loaded yet.
+    pub fn pymk_recommendations(&self, member: u64) -> Result<Option<Bytes>, PlatformError> {
+        if self.pymk.lock().is_none() {
+            return Ok(None);
+        }
+        let client = self.voldemort.client(PYMK_STORE).map_err(wrap)?;
+        let key = member_row_key(member).to_string().into_bytes();
+        let versions = client.get(&key).map_err(wrap)?;
+        Ok(versions.into_iter().next().map(|v| v.value))
     }
 
     /// Cache read path: companies a member follows (from Voldemort).
@@ -255,6 +443,11 @@ impl DataPlatform {
         SimpleConsumer::new(self.kafka_live.clone(), ACTIVITY_TOPIC, partition).map_err(wrap)
     }
 
+    /// Partition count of the activity topic.
+    pub fn activity_partitions(&self) -> u32 {
+        self.activity_partitions
+    }
+
     /// Rows loaded into the warehouse so far.
     pub fn warehouse_rows(&self) -> usize {
         self.warehouse.rows().len()
@@ -270,7 +463,24 @@ impl DataPlatform {
         self.search_client.catch_up().map_err(wrap)?;
         self.bootstrap.catch_up_from(&self.relay).map_err(wrap)?;
         self.bootstrap.apply_log();
+        self.espresso.pump_replication().map_err(wrap)?;
         self.event_producer.publish_audit_and_flush().map_err(wrap)?;
+        self.mirror.pump().map_err(wrap)?;
+        self.warehouse.tick().map_err(wrap)?;
+        Ok(())
+    }
+
+    /// [`Self::pump`] without the audit flush: only the data-tier streams
+    /// (Databus subscribers, bootstrap, Espresso replication, mirror,
+    /// warehouse). The closed-loop benchmark's background pump thread uses
+    /// this — the audit producer buckets by wall-clock window, which would
+    /// make a seeded run's metrics timing-dependent.
+    pub fn pump_streams(&self) -> Result<(), PlatformError> {
+        self.follow_cacher.catch_up().map_err(wrap)?;
+        self.search_client.catch_up().map_err(wrap)?;
+        self.bootstrap.catch_up_from(&self.relay).map_err(wrap)?;
+        self.bootstrap.apply_log();
+        self.espresso.pump_replication().map_err(wrap)?;
         self.mirror.pump().map_err(wrap)?;
         self.warehouse.tick().map_err(wrap)?;
         Ok(())
@@ -340,6 +550,77 @@ mod tests {
         platform.pump().unwrap();
         assert!(platform.search.search("distributed").is_empty());
         assert_eq!(platform.search.search("machine learning"), vec!["member:000000001"]);
+    }
+
+    #[test]
+    fn profile_reads_serve_from_espresso() {
+        let platform = DataPlatform::new(2, 1).unwrap();
+        assert_eq!(platform.profile(5).unwrap(), None);
+        platform.update_profile(5, "storage systems engineer").unwrap();
+        // Espresso is the serving store: readable before any pump.
+        assert_eq!(
+            platform.profile(5).unwrap().as_deref(),
+            Some("storage systems engineer")
+        );
+        // ... while the legacy primary row still feeds search via Databus.
+        platform.pump().unwrap();
+        assert_eq!(platform.search.search("storage"), vec!["member:000000005"]);
+    }
+
+    #[test]
+    fn pymk_build_pull_swap_serves_lookups() {
+        let platform = DataPlatform::new(3, 1).unwrap();
+        assert_eq!(platform.pymk_recommendations(1).unwrap(), None);
+        let records: Vec<(bytes::Bytes, bytes::Bytes)> = (0..100u64)
+            .map(|m| {
+                (
+                    bytes::Bytes::from(member_row_key(m).to_string()),
+                    bytes::Bytes::from(format!("{}:0.9", (m + 1) % 100)),
+                )
+            })
+            .collect();
+        assert_eq!(platform.load_pymk(records).unwrap(), 1);
+        assert_eq!(
+            platform.pymk_recommendations(7).unwrap(),
+            Some(bytes::Bytes::from("8:0.9"))
+        );
+        // A second "job run" swaps in new scores atomically.
+        let rerun: Vec<(bytes::Bytes, bytes::Bytes)> = (0..100u64)
+            .map(|m| {
+                (
+                    bytes::Bytes::from(member_row_key(m).to_string()),
+                    bytes::Bytes::from(format!("{}:0.1", (m + 2) % 100)),
+                )
+            })
+            .collect();
+        assert_eq!(platform.load_pymk(rerun).unwrap(), 2);
+        assert_eq!(
+            platform.pymk_recommendations(7).unwrap(),
+            Some(bytes::Bytes::from("9:0.1"))
+        );
+    }
+
+    #[test]
+    fn concurrent_follows_are_not_lost() {
+        use std::sync::Arc;
+        let platform = Arc::new(DataPlatform::new(2, 1).unwrap());
+        let handles: Vec<_> = (0..8u64)
+            .map(|member| {
+                let platform = Arc::clone(&platform);
+                std::thread::spawn(move || {
+                    platform.follow_company(member, 1).unwrap();
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        platform.pump().unwrap();
+        // Every acked follow appears exactly once — the racy RMW would
+        // drop some and this assert would see fewer than 8.
+        let mut followers = platform.followers(1).unwrap();
+        followers.sort_unstable();
+        assert_eq!(followers, (0..8).collect::<Vec<_>>());
     }
 
     #[test]

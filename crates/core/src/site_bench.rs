@@ -1,0 +1,712 @@
+//! The site-scale closed-loop benchmark harness (ROADMAP item #1).
+//!
+//! One seeded member population (LDBC-shaped, [`li_workload::site`])
+//! drives the whole platform at once, the way the paper's systems are
+//! actually deployed — together:
+//!
+//! * profile reads → Espresso (routed document store),
+//! * PYMK lookups → the Voldemort read-only store,
+//! * follow-edge writes → primary sqlstore → Databus → Voldemort caches,
+//! * activity events → Kafka (live cluster, keyed partitioning).
+//!
+//! **Closed loop:** each driver thread issues its next operation only
+//! after the previous one completes, so offered load is a function of
+//! service time (drivers model users, not a firehose). Scaling the driver
+//! count — not a target rate — is what moves the platform toward its
+//! throughput/latency knee, and per-op latencies are honest: there is no
+//! coordinated-omission correction to apply because there is no schedule
+//! to fall behind.
+//!
+//! **SLO gates** are read back from the site registry after the run:
+//! per-tier p99 under threshold, Databus/Kafka lag drained to zero, and
+//! cross-tier write conservation (every acked follow appears exactly once
+//! downstream). A run is a pass/fail regression check, not just a number.
+//!
+//! **Determinism:** op streams are per-driver seeded ([`split_seed`]), so
+//! *what* the run does is a pure function of the seed even though thread
+//! interleaving varies. The [`SiteBenchReport::conservation_fingerprint`]
+//! captures exactly the order-independent counters/gauges and must be
+//! byte-identical across same-seed runs.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use li_commons::hist::Histogram;
+use li_commons::metrics::{HistogramSummary, MetricValue, MetricsSnapshot};
+use li_kafka::{Partitioner, Producer};
+use li_workload::site::{
+    expected_follow_sets, split_seed, SiteGraph, SiteGraphConfig, SiteMix, SiteOp, SiteWorkload,
+};
+
+use crate::platform::{
+    DataPlatform, PlatformConfig, PlatformError, ACTIVITY_TOPIC,
+};
+use crate::consumers::member_row_key;
+
+/// Per-tier p99 latency thresholds (the SLOs the run is gated on).
+#[derive(Debug, Clone)]
+pub struct SloThresholds {
+    /// p99 budget for Espresso profile reads.
+    pub profile_read_p99: Duration,
+    /// p99 budget for Voldemort PYMK lookups.
+    pub pymk_read_p99: Duration,
+    /// p99 budget for primary-store follow writes.
+    pub follow_write_p99: Duration,
+    /// p99 budget for Kafka activity publishes.
+    pub activity_p99: Duration,
+}
+
+impl SloThresholds {
+    /// Generous smoke-test budgets: wide enough to hold on a loaded CI
+    /// box, tight enough that a pathological serialization bug (seconds
+    /// per op) still trips them.
+    pub fn smoke() -> Self {
+        SloThresholds {
+            profile_read_p99: Duration::from_millis(250),
+            pymk_read_p99: Duration::from_millis(250),
+            follow_write_p99: Duration::from_millis(500),
+            activity_p99: Duration::from_millis(250),
+        }
+    }
+
+    /// The same budget for every tier (knee sweeps).
+    pub fn uniform(p99: Duration) -> Self {
+        SloThresholds {
+            profile_read_p99: p99,
+            pymk_read_p99: p99,
+            follow_write_p99: p99,
+            activity_p99: p99,
+        }
+    }
+
+    fn for_tier(&self, tier: &str) -> Duration {
+        match tier {
+            "profile_read" => self.profile_read_p99,
+            "pymk_read" => self.pymk_read_p99,
+            "follow_write" => self.follow_write_p99,
+            _ => self.activity_p99,
+        }
+    }
+}
+
+/// Full configuration of one benchmark run.
+#[derive(Debug, Clone)]
+pub struct SiteBenchConfig {
+    /// Population shape (and population seed).
+    pub graph: SiteGraphConfig,
+    /// Traffic mix over the four serving paths.
+    pub mix: SiteMix,
+    /// Concurrent closed-loop driver threads.
+    pub drivers: usize,
+    /// Operations each driver issues.
+    pub ops_per_driver: usize,
+    /// Op-stream seed (split per driver; independent of the graph seed).
+    pub seed: u64,
+    /// Platform sizing.
+    pub platform: PlatformConfig,
+    /// SLO gate thresholds.
+    pub slo: SloThresholds,
+}
+
+impl SiteBenchConfig {
+    /// The deterministic smoke profile used by `tests/site_scale.rs`:
+    /// small population, small platform, fixed generous SLOs.
+    pub fn smoke(members: u64, drivers: usize, ops_per_driver: usize, seed: u64) -> Self {
+        SiteBenchConfig {
+            graph: SiteGraphConfig::smoke(members, split_seed(seed, u64::MAX)),
+            mix: SiteMix::site_default(),
+            drivers,
+            ops_per_driver,
+            seed,
+            platform: PlatformConfig::default(),
+            slo: SloThresholds::smoke(),
+        }
+    }
+}
+
+/// One SLO gate's verdict.
+#[derive(Debug, Clone)]
+pub struct GateResult {
+    /// Gate name (stable identifier).
+    pub name: String,
+    /// Whether the gate held.
+    pub passed: bool,
+    /// Human-readable evidence (numbers on both sides of the check).
+    pub detail: String,
+}
+
+/// Everything a finished run reports.
+#[derive(Debug)]
+pub struct SiteBenchReport {
+    /// Driver threads that ran.
+    pub drivers: usize,
+    /// Member population size.
+    pub members: u64,
+    /// Wall-clock time of the load phase (excludes prepare and drain).
+    pub load_wall: Duration,
+    /// Operations attempted.
+    pub ops_attempted: u64,
+    /// Operations acknowledged (attempted minus errors).
+    pub ops_acked: u64,
+    /// Acked operations per second over the load phase — the paper-style
+    /// "members served per second" headline number.
+    pub throughput_ops_per_sec: f64,
+    /// Per-tier latency distributions (ns), keyed by tier name.
+    pub tier_latency: BTreeMap<String, HistogramSummary>,
+    /// Every SLO gate's verdict.
+    pub gates: Vec<GateResult>,
+    /// The full end-of-run metrics snapshot (timing histograms included).
+    pub snapshot: MetricsSnapshot,
+    /// The deterministic subset of the snapshot (see
+    /// [`Self::conservation_fingerprint`]).
+    pub conservation: MetricsSnapshot,
+}
+
+impl SiteBenchReport {
+    /// True when every SLO gate held.
+    pub fn all_gates_pass(&self) -> bool {
+        self.gates.iter().all(|g| g.passed)
+    }
+
+    /// The gates that failed (empty on a passing run).
+    pub fn gate_failures(&self) -> Vec<&GateResult> {
+        self.gates.iter().filter(|g| !g.passed).collect()
+    }
+
+    /// JSON rendering of the *order-independent* metrics: acked-op
+    /// counters, commit/window conservation counters, and end-state lag
+    /// gauges — every reading that a same-seed rerun must reproduce
+    /// byte-for-byte regardless of thread interleaving. Timing-dependent
+    /// metrics (latency histograms, poll/serve counts) are excluded by
+    /// construction.
+    pub fn conservation_fingerprint(&self) -> String {
+        self.conservation.to_json()
+    }
+
+    /// One human-readable block: throughput, per-tier p99s, gate verdicts.
+    pub fn summary(&self) -> String {
+        let mut out = format!(
+            "site_bench: {} drivers x {} members | {:.0} ops/s over {:?} ({} acked / {} attempted)\n",
+            self.drivers,
+            self.members,
+            self.throughput_ops_per_sec,
+            self.load_wall,
+            self.ops_acked,
+            self.ops_attempted,
+        );
+        for (tier, h) in &self.tier_latency {
+            out.push_str(&format!(
+                "  {tier:<13} n={:<7} p50={:>9}ns p99={:>9}ns max={:>9}ns\n",
+                h.count, h.p50, h.p99, h.max
+            ));
+        }
+        for gate in &self.gates {
+            out.push_str(&format!(
+                "  [{}] {}: {}\n",
+                if gate.passed { "PASS" } else { "FAIL" },
+                gate.name,
+                gate.detail
+            ));
+        }
+        out
+    }
+}
+
+/// The prepared harness: platform seeded with the population, ready to
+/// drive load. Prepare once, [`SiteBench::run`] once (the run consumes
+/// the platform's "fresh" state; a second run would see first-run state).
+pub struct SiteBench {
+    platform: Arc<DataPlatform>,
+    graph: Arc<SiteGraph>,
+    workload: Arc<SiteWorkload>,
+    config: SiteBenchConfig,
+}
+
+/// Rows per seeding transaction (the bulk-load batch size).
+const SEED_BATCH: usize = 64;
+
+impl SiteBench {
+    /// Builds the platform and seeds the population into every tier:
+    /// profiles into Espresso (+ legacy primary rows for search), the
+    /// initial follow graph into the primary (bulk-load transactions, so
+    /// Databus populates the Voldemort caches), and the PYMK run into the
+    /// read-only store via build → pull → swap.
+    pub fn prepare(config: SiteBenchConfig) -> Result<Self, PlatformError> {
+        let graph = Arc::new(SiteGraph::generate(&config.graph));
+        Self::prepare_with_graph(config, graph)
+    }
+
+    /// [`Self::prepare`] with a pre-generated population — knee sweeps
+    /// reuse one graph across load points so only the platform state is
+    /// rebuilt per point.
+    pub fn prepare_with_graph(
+        config: SiteBenchConfig,
+        graph: Arc<SiteGraph>,
+    ) -> Result<Self, PlatformError> {
+        assert_eq!(
+            graph.config(),
+            &config.graph,
+            "graph was generated from a different population config"
+        );
+        let platform = Arc::new(DataPlatform::with_config(config.platform.clone())?);
+
+        // Profiles: Espresso serving store + legacy primary row (search).
+        for member in 0..graph.member_count() {
+            platform.update_profile(member, graph.profile_of(member))?;
+        }
+
+        // Initial follow graph: bulk-loaded into the primary in batched
+        // transactions; the Databus pipeline fans it out to the caches.
+        let join = |ids: &[u64]| {
+            ids.iter()
+                .map(u64::to_string)
+                .collect::<Vec<_>>()
+                .join(",")
+                .into_bytes()
+        };
+        let member_rows: Vec<(u64, Vec<u8>)> = (0..graph.member_count())
+            .filter(|&m| !graph.follows_of(m).is_empty())
+            .map(|m| (m, join(graph.follows_of(m))))
+            .collect();
+        for chunk in member_rows.chunks(SEED_BATCH) {
+            let mut txn = platform.primary.begin();
+            for (member, value) in chunk {
+                txn.put("member_follows", member_row_key(*member), value.clone(), 1);
+            }
+            platform.primary.commit(txn).map_err(|e| PlatformError(e.to_string()))?;
+        }
+        let mut follower_lists: Vec<Vec<u64>> =
+            vec![Vec::new(); graph.company_count() as usize];
+        for member in 0..graph.member_count() {
+            for &company in graph.follows_of(member) {
+                follower_lists[company as usize].push(member);
+            }
+        }
+        let company_rows: Vec<(u64, Vec<u8>)> = follower_lists
+            .iter()
+            .enumerate()
+            .filter(|(_, list)| !list.is_empty())
+            .map(|(c, list)| (c as u64, join(list)))
+            .collect();
+        for chunk in company_rows.chunks(SEED_BATCH) {
+            let mut txn = platform.primary.begin();
+            for (company, value) in chunk {
+                txn.put(
+                    "company_followers",
+                    crate::consumers::company_row_key(*company),
+                    value.clone(),
+                    1,
+                );
+            }
+            platform.primary.commit(txn).map_err(|e| PlatformError(e.to_string()))?;
+        }
+
+        // PYMK: one offline "job run" into the read-only store.
+        let records: Vec<(Bytes, Bytes)> = (0..graph.member_count())
+            .map(|m| {
+                (
+                    Bytes::from(member_row_key(m).to_string()),
+                    Bytes::from(graph.pymk_of(m).to_bytes()),
+                )
+            })
+            .collect();
+        platform.load_pymk(records)?;
+
+        // Fan the seeded state out before the clock starts.
+        platform.pump_streams()?;
+
+        let workload = Arc::new(SiteWorkload::new(
+            graph.member_count(),
+            graph.company_count(),
+            config.mix,
+        ));
+        Ok(SiteBench {
+            platform,
+            graph,
+            workload,
+            config,
+        })
+    }
+
+    /// The prepared platform (read access for scenario composition).
+    pub fn platform(&self) -> &Arc<DataPlatform> {
+        &self.platform
+    }
+
+    /// The population this run drives.
+    pub fn graph(&self) -> &Arc<SiteGraph> {
+        &self.graph
+    }
+
+    /// Drives the closed loop: spawns the driver threads and a background
+    /// stream pump, joins, drains every pipeline, snapshots the registry,
+    /// and evaluates the SLO gates.
+    pub fn run(self) -> Result<SiteBenchReport, PlatformError> {
+        let SiteBench {
+            platform,
+            graph,
+            workload,
+            config,
+        } = self;
+        let tiers = ["profile_read", "pymk_read", "follow_write", "activity"];
+        // Create the site.* counters up front so they appear (as zeros)
+        // even for ops the mix never drew.
+        let scope = platform.metrics().scope("site");
+        for tier in tiers {
+            scope.counter(&format!("{tier}.ok"));
+            scope.counter(&format!("{tier}.err"));
+        }
+        let consumed_counter = scope.counter("activity.consumed");
+        let pump_errors = scope.counter("pump.errors");
+
+        // Pre-generate every driver's deterministic op stream.
+        let streams: Vec<Vec<SiteOp>> = (0..config.drivers as u64)
+            .map(|d| workload.ops_for_driver(config.seed, d, config.ops_per_driver))
+            .collect();
+
+        // Background pump: production runs the stream tier continuously;
+        // here a dedicated thread stands in for it during load.
+        let stop_pump = Arc::new(AtomicBool::new(false));
+        let pump_handle = {
+            let platform = Arc::clone(&platform);
+            let stop = Arc::clone(&stop_pump);
+            let errors = pump_errors.clone();
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Acquire) {
+                    if platform.pump_streams().is_err() {
+                        errors.inc();
+                    }
+                    std::thread::sleep(Duration::from_micros(200));
+                }
+            })
+        };
+
+        let attempted = Arc::new(AtomicU64::new(0));
+        let acked = Arc::new(AtomicU64::new(0));
+        let load_start = Instant::now();
+        let driver_handles: Vec<_> = streams
+            .iter()
+            .map(|ops| {
+                let ops = ops.clone();
+                let platform = Arc::clone(&platform);
+                let attempted = Arc::clone(&attempted);
+                let acked = Arc::clone(&acked);
+                std::thread::spawn(move || drive(&platform, &ops, &attempted, &acked))
+            })
+            .collect();
+        let mut tier_local: BTreeMap<&'static str, Histogram> = BTreeMap::new();
+        for handle in driver_handles {
+            let per_tier = handle.join().expect("driver thread panicked");
+            for (tier, hist) in per_tier {
+                tier_local.entry(tier).or_default().merge(&hist);
+            }
+        }
+        let load_wall = load_start.elapsed();
+        stop_pump.store(true, Ordering::Release);
+        pump_handle.join().expect("pump thread panicked");
+
+        // Publish the driver-side latency distributions.
+        for (tier, hist) in &tier_local {
+            scope.histogram(&format!("{tier}.latency_ns")).merge_from(hist);
+        }
+
+        // ---- Drain: load has stopped; every pipeline must empty. -------
+        platform.pump_streams()?;
+        platform.pump_streams()?;
+        let mut consumed = 0u64;
+        for partition in 0..platform.activity_partitions() {
+            let mut consumer = platform.activity_consumer(partition)?;
+            loop {
+                let batch = consumer.poll().map_err(|e| PlatformError(e.to_string()))?;
+                if batch.is_empty() {
+                    break;
+                }
+                consumed += batch.len() as u64;
+            }
+        }
+        consumed_counter.add(consumed);
+        let loaded = platform.force_warehouse_load()?;
+        let _ = loaded;
+
+        let snapshot = platform.metrics_snapshot();
+        let conservation = conservation_subset(&snapshot, &config.platform);
+
+        // ---- Gates -----------------------------------------------------
+        let tier_latency: BTreeMap<String, HistogramSummary> = tier_local
+            .iter()
+            .map(|(tier, h)| (tier.to_string(), HistogramSummary::of(h)))
+            .collect();
+        let mut gates = Vec::new();
+        for tier in tiers {
+            let p99 = tier_latency.get(tier).map_or(0, |h| h.p99);
+            let budget = config.slo.for_tier(tier).as_nanos() as u64;
+            gates.push(GateResult {
+                name: format!("slo.{tier}.p99"),
+                passed: p99 <= budget,
+                detail: format!("p99 {p99}ns vs budget {budget}ns"),
+            });
+        }
+
+        let relay_lag = snapshot.gauge("databus.client.relay_lag_scns").unwrap_or(-1);
+        let newest = snapshot.gauge("databus.relay.primary.newest_scn").unwrap_or(-1);
+        let last_scn = snapshot.gauge("sqlstore.db.primary.last_scn").unwrap_or(-2);
+        gates.push(GateResult {
+            name: "databus.lag_drains".into(),
+            passed: relay_lag == 0 && newest == last_scn,
+            detail: format!(
+                "client lag {relay_lag} scns; relay newest_scn {newest} vs primary last_scn {last_scn}"
+            ),
+        });
+
+        let mut max_consumer_lag = 0i64;
+        for partition in 0..platform.activity_partitions() {
+            let lag = snapshot
+                .gauge(&format!("kafka.consumer.{ACTIVITY_TOPIC}.{partition}.lag"))
+                .unwrap_or(i64::MAX);
+            max_consumer_lag = max_consumer_lag.max(lag);
+        }
+        let activity_acked = snapshot.counter("site.activity.ok").unwrap_or(0);
+        gates.push(GateResult {
+            name: "kafka.lag_drains".into(),
+            passed: max_consumer_lag == 0 && consumed == activity_acked,
+            detail: format!(
+                "max partition lag {max_consumer_lag}; consumed {consumed} vs acked {activity_acked}"
+            ),
+        });
+        let warehouse_rows = platform.warehouse_rows() as u64;
+        gates.push(GateResult {
+            name: "offline.mirror_conservation".into(),
+            passed: warehouse_rows == activity_acked,
+            detail: format!("warehouse rows {warehouse_rows} vs acked activity {activity_acked}"),
+        });
+
+        gates.push(follow_conservation_gate(&platform, &graph, &streams)?);
+        gates.push(profile_conservation_gate(&platform, &graph)?);
+
+        let write_failures = snapshot
+            .counter("voldemort.client.quorum.write_failures")
+            .unwrap_or(0);
+        let failovers = snapshot.counter("espresso.router.failovers").unwrap_or(0);
+        gates.push(GateResult {
+            name: "no_partial_failures".into(),
+            passed: write_failures == 0 && failovers == 0 && pump_errors.value() == 0,
+            detail: format!(
+                "voldemort write_failures {write_failures}; espresso failovers {failovers}; pump errors {}",
+                pump_errors.value()
+            ),
+        });
+
+        let ops_attempted = attempted.load(Ordering::Relaxed);
+        let ops_acked = acked.load(Ordering::Relaxed);
+        Ok(SiteBenchReport {
+            drivers: config.drivers,
+            members: graph.member_count(),
+            load_wall,
+            ops_attempted,
+            ops_acked,
+            throughput_ops_per_sec: ops_acked as f64 / load_wall.as_secs_f64().max(1e-9),
+            tier_latency,
+            gates,
+            snapshot,
+            conservation,
+        })
+    }
+}
+
+/// One driver's closed loop: issue, time, record, repeat. Returns the
+/// per-tier latency histograms (merged by the caller — no shared state on
+/// the hot path beyond the op counters).
+fn drive(
+    platform: &DataPlatform,
+    ops: &[SiteOp],
+    attempted: &AtomicU64,
+    acked: &AtomicU64,
+) -> Vec<(&'static str, Histogram)> {
+    // Each driver is its own Kafka producer session: batch size 1 (an ack
+    // per send — closed loop needs per-op completion) partitioned by
+    // member key so one member's events stay ordered.
+    let producer = Producer::new(platform.kafka_live.clone()).with_partitioner(Partitioner::Keyed);
+    let scope = platform.metrics().scope("site");
+    let mut hists: BTreeMap<&'static str, Histogram> = BTreeMap::new();
+    for op in ops {
+        attempted.fetch_add(1, Ordering::Relaxed);
+        let tier = op.tier();
+        let start = Instant::now();
+        let outcome: Result<(), String> = match op {
+            SiteOp::ProfileRead(member) => platform
+                .profile(*member)
+                .map(|_| ())
+                .map_err(|e| e.to_string()),
+            SiteOp::PymkRead(member) => platform
+                .pymk_recommendations(*member)
+                .map(|_| ())
+                .map_err(|e| e.to_string()),
+            SiteOp::Follow { member, company } => platform
+                .follow_company(*member, *company)
+                .map_err(|e| e.to_string()),
+            SiteOp::Activity { member, event } => producer
+                .send_keyed(
+                    ACTIVITY_TOPIC,
+                    member_row_key(*member).to_string().as_bytes(),
+                    event.clone(),
+                )
+                .map_err(|e| e.to_string()),
+        };
+        let nanos = start.elapsed().as_nanos() as u64;
+        hists.entry(tier).or_default().record(nanos);
+        match outcome {
+            Ok(()) => {
+                acked.fetch_add(1, Ordering::Relaxed);
+                scope.counter(&format!("{tier}.ok")).inc();
+            }
+            Err(_) => scope.counter(&format!("{tier}.err")).inc(),
+        }
+    }
+    hists.into_iter().collect()
+}
+
+/// Write conservation for follows: every member the op streams touched
+/// must serve, from the Voldemort cache, exactly the union of their
+/// seeded edges and their acked follow ops — each company exactly once
+/// (duplicates mean double-apply; gaps mean lost writes).
+fn follow_conservation_gate(
+    platform: &DataPlatform,
+    graph: &SiteGraph,
+    streams: &[Vec<SiteOp>],
+) -> Result<GateResult, PlatformError> {
+    let expected = expected_follow_sets(graph, streams);
+    let mut checked = 0usize;
+    let mut violations = Vec::new();
+    for (member, want) in &expected {
+        let mut got = platform.followed_companies(*member)?;
+        checked += 1;
+        let got_len = got.len();
+        got.sort_unstable();
+        got.dedup();
+        if got.len() != got_len {
+            violations.push(format!("member {member}: duplicate follow entries"));
+        } else if got != want.iter().copied().collect::<Vec<_>>() {
+            violations.push(format!(
+                "member {member}: cache has {got_len} follows, expected {}",
+                want.len()
+            ));
+        }
+        if violations.len() >= 3 {
+            break;
+        }
+    }
+    Ok(GateResult {
+        name: "follow.write_conservation".into(),
+        passed: violations.is_empty(),
+        detail: if violations.is_empty() {
+            format!("{checked} written members each exactly-once in cache")
+        } else {
+            violations.join("; ")
+        },
+    })
+}
+
+/// Every seeded profile must read back from Espresso with the generated
+/// text (sampled across the population; the mix has no profile writes, so
+/// the seeded text is the final text).
+fn profile_conservation_gate(
+    platform: &DataPlatform,
+    graph: &SiteGraph,
+) -> Result<GateResult, PlatformError> {
+    let stride = (graph.member_count() / 64).max(1);
+    let mut checked = 0usize;
+    let mut bad = None;
+    for member in (0..graph.member_count()).step_by(stride as usize) {
+        checked += 1;
+        if platform.profile(member)?.as_deref() != Some(graph.profile_of(member)) {
+            bad = Some(member);
+            break;
+        }
+    }
+    Ok(GateResult {
+        name: "profile.read_your_writes".into(),
+        passed: bad.is_none(),
+        detail: match bad {
+            None => format!("{checked} sampled profiles match"),
+            Some(member) => format!("member {member}: profile text diverged"),
+        },
+    })
+}
+
+/// The filtered snapshot backing the determinism fingerprint: keeps only
+/// counters/gauges whose end-of-run values are order-independent —
+/// acked-op totals, commit/window conservation counts, routing-determined
+/// broker totals, and drained-lag gauges. Anything timing-dependent
+/// (latency histograms, serve/poll counters, hint retries) stays out.
+fn conservation_subset(snapshot: &MetricsSnapshot, platform: &PlatformConfig) -> MetricsSnapshot {
+    let mut names: Vec<String> = vec![
+        "sqlstore.db.primary.commits".into(),
+        "sqlstore.db.primary.last_scn".into(),
+        "databus.relay.primary.windows_ingested".into(),
+        "databus.relay.primary.newest_scn".into(),
+        "databus.client.relay_lag_scns".into(),
+        "databus.client.windows_processed".into(),
+        "voldemort.client.put.ok".into(),
+        "voldemort.client.quorum.write_failures".into(),
+        "kafka.producer.requests".into(),
+        "espresso.router.requests".into(),
+        "espresso.router.failovers".into(),
+    ];
+    for broker in 0..platform.kafka_brokers {
+        names.push(format!("kafka.broker{broker}.produce.messages"));
+    }
+    for node in 0..platform.voldemort_nodes {
+        names.push(format!("voldemort.node{node}.put.count"));
+    }
+    for partition in 0..platform.activity_partitions {
+        names.push(format!("kafka.consumer.{ACTIVITY_TOPIC}.{partition}.lag"));
+    }
+    let readings = snapshot
+        .iter()
+        .filter(|(name, value)| {
+            let deterministic_kind =
+                matches!(value, MetricValue::Counter(_) | MetricValue::Gauge(_));
+            deterministic_kind
+                && (name.starts_with("site.") || names.iter().any(|n| n == name))
+        })
+        .map(|(name, value)| (name.to_string(), value.clone()));
+    MetricsSnapshot::from_readings(readings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_passes_gates_and_reports() {
+        let mut config = SiteBenchConfig::smoke(200, 2, 60, 11);
+        config.platform = PlatformConfig {
+            voldemort_nodes: 2,
+            kafka_brokers: 1,
+            espresso_nodes: 2,
+            espresso_partitions: 4,
+            activity_partitions: 2,
+        };
+        let bench = SiteBench::prepare(config).unwrap();
+        let report = bench.run().unwrap();
+        assert!(
+            report.all_gates_pass(),
+            "gate failures:\n{}",
+            report.summary()
+        );
+        assert_eq!(
+            report.ops_attempted, 2 * 60,
+            "closed loop issued every op"
+        );
+        assert_eq!(report.ops_acked, report.ops_attempted);
+        assert!(report.throughput_ops_per_sec > 0.0);
+        // The fingerprint excludes timing histograms but keeps the acked
+        // counters.
+        let fp = report.conservation_fingerprint();
+        assert!(fp.contains("site.profile_read.ok"));
+        assert!(!fp.contains("latency_ns"));
+    }
+}

@@ -75,9 +75,20 @@ impl EspressoCluster {
     /// Builds a cluster of `node_count` storage nodes (ids 0..n), each with
     /// its own relay, all joined to a fresh coordination service.
     pub fn new(node_count: u16) -> Result<Arc<Self>, EspressoError> {
+        Self::with_metrics(node_count, &MetricsRegistry::new())
+    }
+
+    /// [`Self::new`], but publishing into a caller-supplied registry — so
+    /// a site-wide deployment can watch Espresso in the same snapshot as
+    /// every other tier (`espresso.router.*` plus one
+    /// `databus.relay.espresso-node-N.*` family per storage node).
+    pub fn with_metrics(
+        node_count: u16,
+        registry: &Arc<MetricsRegistry>,
+    ) -> Result<Arc<Self>, EspressoError> {
         let zk = ZooKeeper::new();
         let controller = Controller::new(&zk, "espresso")?;
-        let registry = MetricsRegistry::new();
+        let registry = Arc::clone(registry);
         let cluster = Arc::new(EspressoCluster {
             zk,
             controller,

@@ -18,6 +18,9 @@
 //!   People You May Know (per-member scored recommendation lists).
 //! * [`driver`] — mixed read/write operation streams (e.g. 60/40) with a
 //!   latency recorder.
+//! * [`site`] — the site-scale closed-loop population: an LDBC-shaped
+//!   social graph (Zipfian follower counts, hot profiles, power-law write
+//!   skew) plus per-driver-seeded mixed site traffic.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -26,7 +29,9 @@ pub mod datasets;
 pub mod driver;
 pub mod events;
 pub mod keys;
+pub mod site;
 pub mod zipf;
 
 pub use driver::{MixedWorkload, Operation};
+pub use site::{SiteGraph, SiteGraphConfig, SiteMix, SiteOp, SiteWorkload};
 pub use zipf::Zipfian;

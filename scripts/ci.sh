@@ -21,7 +21,10 @@ QUORUM_PROPTEST_CASES=64 cargo test -q --test voldemort_quorum_props
 echo "== relay proptests: 64 cases (default is 24) =="
 RELAY_PROPTEST_CASES=64 cargo test -q --test databus_relay_props
 
-echo "== chaos sweep: 20 seeds x 5 scenarios (10 min budget) =="
+echo "== site graph proptests: 64 cases (default is 32) =="
+SITE_GRAPH_PROPTEST_CASES=64 cargo test -q --test site_graph_props
+
+echo "== chaos sweep: 20 seeds x 6 scenarios (10 min budget) =="
 # Wider seed sweep than the per-test default of 5. Deterministic — only
 # the tail-fanout scenario sleeps (it replays simulated link latencies
 # in real time so completion order follows the network model) — so the
@@ -29,6 +32,16 @@ echo "== chaos sweep: 20 seeds x 5 scenarios (10 min budget) =="
 # flakiness allowance. On failure each scenario prints its own
 # CHAOS_SEED=<n> repro line.
 CHAOS_SEEDS=20 timeout 600 cargo test -q --test chaos -- chaos_sweep_
+
+echo "== site smoke: closed-loop SLO gates at CI population (5 min budget) =="
+# A larger population than the per-test default (which keeps plain
+# `cargo test` fast); knobs are overridable from the environment. The
+# closed loop is seeded and deterministic, so the timeout is a tripwire
+# for a wedged drain (lag that never reaches zero), not flakiness.
+SITE_SMOKE_MEMBERS="${SITE_SMOKE_MEMBERS:-3000}" \
+SITE_SMOKE_DRIVERS="${SITE_SMOKE_DRIVERS:-4}" \
+SITE_SMOKE_OPS="${SITE_SMOKE_OPS:-600}" \
+  timeout 300 cargo test -q --test site_scale
 
 echo "== cargo clippy --workspace --all-targets -- -D warnings =="
 cargo clippy --workspace --all-targets -- -D warnings

@@ -15,7 +15,7 @@
 
 use bytes::Bytes;
 use li_commons::chaos::{
-    sweep_seeds, ChaosConfig, ChaosFailure, ChaosScheduler, NetworkOnlyHooks,
+    sweep_seeds, ChaosConfig, ChaosFailure, ChaosScheduler, FaultHooks, NetworkOnlyHooks,
 };
 use li_commons::clock::VectorClock;
 use li_commons::ring::{HashRing, NodeId, PartitionId};
@@ -24,7 +24,13 @@ use li_espresso::{DatabaseSchema, EspressoCluster, TableSchema};
 use li_kafka::mirror::MirrorMaker;
 use li_kafka::{KafkaCluster, MessageSet, ReplicatedCluster};
 use li_sqlstore::{Database, RowKey};
+use li_databus::{DatabusClient, LogShippingAdapter, Relay};
 use li_voldemort::{FanOutMode, QuorumConfig, ReadFanOut, StoreDef, VoldemortCluster};
+use li_workload::{SiteGraph, SiteGraphConfig, SiteMix, SiteOp, SiteWorkload};
+use linkedin_data_infra::consumers::{
+    company_row_key, member_row_key, parse_id_list, CompanyFollowCacher,
+};
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -795,6 +801,420 @@ fn chaos_sweep_sqlstore_replication() {
 }
 
 // ---------------------------------------------------------------------
+// Scenario 5: the site closed loop under cross-system node crashes.
+// ---------------------------------------------------------------------
+
+/// Forwards each chaos node's faults to *two* systems at once: chaos
+/// node `i` is both Voldemort cache node `i` and Kafka broker `i`, so a
+/// single crash takes out one node of each tier simultaneously — the
+/// correlated-failure shape of a real host loss.
+struct SiteHooks {
+    voldemort: Arc<VoldemortCluster>,
+    kafka: Arc<ReplicatedCluster>,
+}
+
+impl FaultHooks for SiteHooks {
+    fn crash(&self, node: NodeId) {
+        self.voldemort.crash(node);
+        self.kafka.crash(node);
+    }
+
+    fn restart(&self, node: NodeId) {
+        self.voldemort.restart(node);
+        self.kafka.restart(node);
+    }
+
+    fn pause(&self, node: NodeId) {
+        self.crash(node);
+    }
+
+    fn resume(&self, node: NodeId) {
+        self.restart(node);
+    }
+}
+
+/// A small seeded site population (`li_workload::site`) drives the
+/// cross-system pipeline — follow writes through the primary → Databus →
+/// the Voldemort Company Follow caches, cache reads against those
+/// stores, and activity events into a replicated Kafka topic — while the
+/// seeded scheduler crashes one Voldemort-node/Kafka-broker pair at a
+/// time mid-load. The SLO conservation gates of the site benchmark must
+/// hold after heal:
+///
+/// * **follow-conservation** — every member's (and company's) cached
+///   list equals the primary-derived set exactly: each follow exactly
+///   once, none lost, none duplicated, despite Databus redelivery and
+///   hinted handoff;
+/// * **databus-lag-drained** — relay and consumer checkpoint both reach
+///   the primary's last SCN;
+/// * **kafka-committed-exactly-once** — committed reads were never
+///   rolled back or altered, every acked payload appears at most once
+///   (at its acked offset), replicas are byte-identical, and consumer
+///   lag drains to zero.
+fn run_site_closed_loop(seed: u64) -> Result<String, ChaosFailure> {
+    let nodes: Vec<NodeId> = (0..3).map(NodeId).collect();
+    let mut config = ChaosConfig::hooks_only();
+    config.max_down = 1;
+    let mut sched = ChaosScheduler::new(seed, nodes.clone(), config);
+    let clock = sched.clock();
+
+    // Primary + Databus → Voldemort follow caches, on the scheduler's
+    // network and clock (Voldemort's failure surface is the network).
+    let primary = Database::with_clock("primary", Arc::new(clock.clone()));
+    primary.create_table("member_follows").unwrap();
+    primary.create_table("company_followers").unwrap();
+    let relay = Arc::new(Relay::new("primary", 32 << 20));
+    LogShippingAdapter::attach_with_backlog(&primary, relay.clone(), 0).unwrap();
+    let ring = HashRing::balanced(16, &nodes).unwrap();
+    let voldemort =
+        VoldemortCluster::with_parts(ring, sched.network(), Arc::new(clock.clone())).unwrap();
+    for store in ["member-follows", "company-followers"] {
+        voldemort
+            .add_store(StoreDef::read_write(store).with_quorum(3, 2, 2))
+            .unwrap();
+    }
+    let cacher = DatabusClient::new(
+        relay.clone(),
+        None,
+        Arc::new(CompanyFollowCacher::new(
+            voldemort.client("member-follows").unwrap(),
+            voldemort.client("company-followers").unwrap(),
+        )),
+    );
+
+    // Activity tier: 3 brokers, RF=3 — any single broker loss leaves a
+    // quorum of replicas for every partition.
+    let kafka = KafkaCluster::new(3).unwrap();
+    let replicated = Arc::new(ReplicatedCluster::new(kafka.clone()));
+    const ACTIVITY_PARTITIONS: u32 = 2;
+    replicated
+        .create_topic("activity", ACTIVITY_PARTITIONS, 3)
+        .unwrap();
+
+    let hooks = SiteHooks {
+        voldemort: voldemort.clone(),
+        kafka: replicated.clone(),
+    };
+
+    // Seed the population: graph-shaped follow rows in the primary,
+    // shipped to the caches through Databus before load starts. The
+    // expected sets track the primary-derived truth from here on.
+    let graph = SiteGraph::generate(&SiteGraphConfig::smoke(120, seed));
+    let join = |ids: &BTreeSet<u64>| {
+        ids.iter()
+            .map(u64::to_string)
+            .collect::<Vec<_>>()
+            .join(",")
+            .into_bytes()
+    };
+    let mut follows: BTreeMap<u64, BTreeSet<u64>> = BTreeMap::new();
+    let mut followers: BTreeMap<u64, BTreeSet<u64>> = BTreeMap::new();
+    for member in 0..graph.member_count() {
+        let set: BTreeSet<u64> = graph.follows_of(member).iter().copied().collect();
+        for &company in &set {
+            followers.entry(company).or_default().insert(member);
+        }
+        if !set.is_empty() {
+            follows.insert(member, set);
+        }
+    }
+    let mut txn = primary.begin();
+    for (member, set) in &follows {
+        txn.put("member_follows", member_row_key(*member), join(set), 1);
+    }
+    for (company, set) in &followers {
+        txn.put("company_followers", company_row_key(*company), join(set), 1);
+    }
+    primary.commit(txn).unwrap();
+    cacher.catch_up().unwrap();
+
+    // A follow against the primary: the same two-row read-modify-write
+    // the platform performs (single-threaded here, so no row lock).
+    let apply_follow = |member: u64, company: u64| {
+        let member_key = member_row_key(member);
+        let company_key = company_row_key(company);
+        let mut followed = primary
+            .get("member_follows", &member_key)
+            .unwrap()
+            .map(|row| parse_id_list(&row.value))
+            .unwrap_or_default();
+        let mut follower_list = primary
+            .get("company_followers", &company_key)
+            .unwrap()
+            .map(|row| parse_id_list(&row.value))
+            .unwrap_or_default();
+        if !followed.contains(&company) {
+            followed.push(company);
+        }
+        if !follower_list.contains(&member) {
+            follower_list.push(member);
+        }
+        let encode = |ids: &[u64]| {
+            ids.iter()
+                .map(u64::to_string)
+                .collect::<Vec<_>>()
+                .join(",")
+                .into_bytes()
+        };
+        let mut txn = primary.begin();
+        txn.put("member_follows", member_key, encode(&followed), 1);
+        txn.put("company_followers", company_key, encode(&follower_list), 1);
+        primary.commit(txn).unwrap();
+    };
+
+    // Closed-loop drive: the seeded per-driver op stream, reads mapped
+    // to the Voldemort cache (the §II.C read path), follows to the
+    // primary, activity to Kafka. Databus and replication pump
+    // periodically, exactly as the site pumps between requests.
+    let workload = SiteWorkload::new(
+        graph.member_count(),
+        graph.company_count(),
+        SiteMix {
+            profile_reads: 0.15,
+            pymk_reads: 0.15,
+            follow_writes: 0.40,
+            activity_events: 0.30,
+        },
+    );
+    let ops = workload.ops_for_driver(seed, 0, 160);
+    let member_reader = voldemort.client("member-follows").unwrap();
+    // Acked activity: (partition, acked offset, payload). Leader-only
+    // acks mean an unreplicated tail can be truncated by a longest-log
+    // election — acked payloads must appear *at most* once, and the
+    // committed prefix a consumer observed may never change.
+    let mut acked_activity: Vec<(u32, u64, Bytes)> = Vec::new();
+    let mut consumed: Vec<Vec<(u64, Bytes)>> = vec![Vec::new(); ACTIVITY_PARTITIONS as usize];
+    let mut next_offset = [0u64; ACTIVITY_PARTITIONS as usize];
+    let mut follows_applied = 0u64;
+    let mut produced_ok = 0u64;
+    for (i, op) in ops.iter().enumerate() {
+        sched.step(&hooks);
+        match op {
+            SiteOp::ProfileRead(m) | SiteOp::PymkRead(m) => {
+                let key = member_row_key(*m).to_string().into_bytes();
+                if let Err(e) = member_reader.get(&key) {
+                    sched.note(format!("op {i}: cache read failed under faults: {e}"));
+                }
+            }
+            SiteOp::Follow { member, company } => {
+                apply_follow(*member, *company);
+                follows.entry(*member).or_default().insert(*company);
+                followers.entry(*company).or_default().insert(*member);
+                follows_applied += 1;
+            }
+            SiteOp::Activity { member, event } => {
+                let partition = (*member % ACTIVITY_PARTITIONS as u64) as u32;
+                let payload = Bytes::from(format!("{i}:{member}:{event}"));
+                let set = MessageSet::from_payloads([payload.clone()]);
+                match replicated.produce("activity", partition, &set) {
+                    Ok(offset) => {
+                        produced_ok += 1;
+                        acked_activity.push((partition, offset, payload));
+                    }
+                    Err(e) => sched.note(format!("op {i}: activity produce failed: {e}")),
+                }
+            }
+        }
+        if i % 6 == 0 {
+            // A window can fail mid-apply while a quorum is short; the
+            // checkpoint only advances on success, and the cacher's
+            // full-value writes make redelivery idempotent.
+            if let Err(e) = cacher.catch_up() {
+                sched.note(format!("op {i}: databus catch_up deferred: {e}"));
+            }
+            let _ = replicated.replicate();
+            for p in 0..ACTIVITY_PARTITIONS {
+                if let Ok((messages, next)) =
+                    replicated.fetch_committed("activity", p, next_offset[p as usize], usize::MAX)
+                {
+                    for (offset, message) in messages {
+                        consumed[p as usize].push((offset, message.payload.clone()));
+                    }
+                    next_offset[p as usize] = next;
+                }
+            }
+        }
+        if i % 40 == 0 {
+            sched.note(format!(
+                "op {i}: follows_applied={follows_applied} produced_ok={produced_ok}"
+            ));
+        }
+    }
+
+    // Heal and drain every pipeline: Databus to the last SCN, hints to
+    // their owners, replication to the high watermark.
+    sched.quiesce(&hooks);
+    // The detector still bans the last-crashed node until probes run on
+    // advanced virtual time; interleave catch-up with the probe loop so
+    // Databus drains as soon as quorums re-form.
+    let mut caught_up = false;
+    for _ in 0..40 {
+        clock.advance(Duration::from_secs(6));
+        voldemort.run_failure_probes();
+        if !caught_up {
+            caught_up = cacher.catch_up().is_ok();
+        }
+        voldemort.deliver_hints();
+        if caught_up
+            && voldemort.pending_hints() == 0
+            && voldemort.detector().banned_nodes().is_empty()
+        {
+            break;
+        }
+    }
+    cacher.catch_up().unwrap();
+    for _ in 0..10 {
+        if replicated.replicate().unwrap() == 0 {
+            break;
+        }
+    }
+    for p in 0..ACTIVITY_PARTITIONS {
+        let (messages, next) = replicated
+            .fetch_committed("activity", p, next_offset[p as usize], usize::MAX)
+            .unwrap();
+        for (offset, message) in messages {
+            consumed[p as usize].push((offset, message.payload.clone()));
+        }
+        next_offset[p as usize] = next;
+    }
+    sched.note(format!(
+        "drained: follows_applied={follows_applied} produced_ok={produced_ok} \
+         pending_hints={} primary_scn={:?}",
+        voldemort.pending_hints(),
+        primary.last_scn()
+    ));
+
+    let company_reader = voldemort.client("company-followers").unwrap();
+    let follow_conservation = || -> Result<(), String> {
+        let check = |reader: &li_voldemort::StoreClient,
+                     key: &RowKey,
+                     expected: &BTreeSet<u64>,
+                     what: &str|
+         -> Result<(), String> {
+            let siblings = reader
+                .get(key.to_string().as_bytes())
+                .map_err(|e| format!("{what} {key}: read failed: {e}"))?;
+            if siblings.len() != 1 {
+                return Err(format!(
+                    "{what} {key}: {} versions after heal (want exactly one)",
+                    siblings.len()
+                ));
+            }
+            let got = parse_id_list(&siblings[0].value);
+            let mut sorted = got.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            if sorted.len() != got.len() {
+                return Err(format!("{what} {key}: duplicated id in cached list {got:?}"));
+            }
+            let want: Vec<u64> = expected.iter().copied().collect();
+            if sorted != want {
+                return Err(format!(
+                    "{what} {key}: cached {sorted:?} != primary-derived {want:?}"
+                ));
+            }
+            Ok(())
+        };
+        for (member, expected) in &follows {
+            check(&member_reader, &member_row_key(*member), expected, "member")?;
+        }
+        for (company, expected) in &followers {
+            check(&company_reader, &company_row_key(*company), expected, "company")?;
+        }
+        Ok(())
+    };
+    let databus_drained = || -> Result<(), String> {
+        let primary_scn = primary.last_scn();
+        if relay.newest_scn() != primary_scn {
+            return Err(format!(
+                "relay at {:?}, primary at {primary_scn:?}",
+                relay.newest_scn()
+            ));
+        }
+        if cacher.checkpoint() != primary_scn {
+            return Err(format!(
+                "consumer checkpoint {:?} behind primary {primary_scn:?}",
+                cacher.checkpoint()
+            ));
+        }
+        Ok(())
+    };
+    let kafka_committed_exactly_once = || -> Result<(), String> {
+        for p in 0..ACTIVITY_PARTITIONS {
+            replicated.verify_replica_identity("activity", p)?;
+            let (all, end) = replicated
+                .fetch_committed("activity", p, 0, usize::MAX)
+                .map_err(|e| format!("refetch activity/{p}: {e}"))?;
+            // Committed reads stable: nothing a consumer saw may change.
+            for (offset, payload) in &consumed[p as usize] {
+                match all.iter().find(|(o, _)| o == offset) {
+                    Some((_, message)) if message.payload == *payload => {}
+                    Some(_) => {
+                        return Err(format!(
+                            "activity/{p} offset {offset}: committed read changed bytes"
+                        ))
+                    }
+                    None => {
+                        return Err(format!(
+                            "activity/{p} offset {offset}: committed read rolled back"
+                        ))
+                    }
+                }
+            }
+            // Acked payloads: at most once, and only at the acked offset.
+            for (partition, offset, payload) in &acked_activity {
+                if *partition != p {
+                    continue;
+                }
+                let hits: Vec<u64> = all
+                    .iter()
+                    .filter(|(_, m)| m.payload == *payload)
+                    .map(|(o, _)| *o)
+                    .collect();
+                if hits.len() > 1 {
+                    return Err(format!(
+                        "activity/{p}: acked payload duplicated at offsets {hits:?}"
+                    ));
+                }
+                if let Some(&at) = hits.first() {
+                    if at != *offset {
+                        return Err(format!(
+                            "activity/{p}: acked at {offset}, committed at {at}"
+                        ));
+                    }
+                }
+            }
+            // Lag drained: the consumer reached the high watermark.
+            if end != next_offset[p as usize] {
+                return Err(format!(
+                    "activity/{p}: consumer at {}, high watermark at {end}",
+                    next_offset[p as usize]
+                ));
+            }
+        }
+        Ok(())
+    };
+    sched.check(
+        &[
+            ("follow-conservation", &follow_conservation),
+            ("databus-lag-drained", &databus_drained),
+            ("kafka-committed-exactly-once", &kafka_committed_exactly_once),
+        ],
+        "cargo test --test chaos site_closed_loop",
+    )?;
+    Ok(sched.trace_text())
+}
+
+#[test]
+fn chaos_sweep_site_closed_loop() {
+    for seed in sweep_seeds(5) {
+        if let Err(failure) = run_site_closed_loop(seed) {
+            panic!("{failure}");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
 // The determinism contract, asserted.
 // ---------------------------------------------------------------------
 
@@ -823,6 +1243,9 @@ fn same_seed_yields_byte_identical_traces() {
     let a = run_sqlstore_replication(11).unwrap_or_else(|f| panic!("{f}"));
     let b = run_sqlstore_replication(11).unwrap_or_else(|f| panic!("{f}"));
     assert_eq!(a, b, "sqlstore trace diverged");
+    let a = run_site_closed_loop(11).unwrap_or_else(|f| panic!("{f}"));
+    let b = run_site_closed_loop(11).unwrap_or_else(|f| panic!("{f}"));
+    assert_eq!(a, b, "site closed-loop trace diverged");
 }
 
 /// A deliberately planted invariant violation is caught, reported with
