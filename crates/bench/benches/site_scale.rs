@@ -20,7 +20,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use li_workload::SiteGraph;
 use linkedin_data_infra::{
-    PlatformConfig, SiteBench, SiteBenchConfig, SiteBenchReport, SloThresholds,
+    PlatformConfig, ShardMode, SiteBench, SiteBenchConfig, SiteBenchReport, SloThresholds,
 };
 use std::hint::black_box;
 use std::sync::Arc;
@@ -47,26 +47,27 @@ fn sweep_slo() -> SloThresholds {
     }
 }
 
-fn platform_shape() -> PlatformConfig {
+fn platform_shape(mode: ShardMode) -> PlatformConfig {
     PlatformConfig {
         voldemort_nodes: 3,
         kafka_brokers: 2,
         espresso_nodes: 3,
         espresso_partitions: 8,
         activity_partitions: 4,
+        shard_mode: mode,
     }
 }
 
-fn point_config(drivers: usize, ops_per_driver: usize) -> SiteBenchConfig {
+fn point_config(drivers: usize, ops_per_driver: usize, mode: ShardMode) -> SiteBenchConfig {
     let mut config = SiteBenchConfig::smoke(MEMBERS, drivers, ops_per_driver, SEED);
-    config.platform = platform_shape();
+    config.platform = platform_shape(mode);
     config.slo = sweep_slo();
     config
 }
 
-fn run_point(graph: &Arc<SiteGraph>, drivers: usize) -> SiteBenchReport {
+fn run_point(graph: &Arc<SiteGraph>, drivers: usize, mode: ShardMode) -> SiteBenchReport {
     let bench = SiteBench::prepare_with_graph(
-        point_config(drivers, OPS_TOTAL / drivers),
+        point_config(drivers, OPS_TOTAL / drivers, mode),
         graph.clone(),
     )
     .expect("prepare load point");
@@ -81,10 +82,18 @@ fn p99_ms(report: &SiteBenchReport, tier: &str) -> f64 {
         .unwrap_or(0.0)
 }
 
+/// Drivers at which the sharded runtime is compared against its
+/// serialized (single-stripe, `ShardMode::Deterministic`) twin: the same
+/// concurrency offered to a platform that takes one global stripe per
+/// tier, i.e. the pre-sharding serving runtime.
+const BASELINE_DRIVERS: usize = 8;
+
 fn sweep() {
     // One population for every point: the knee must come from load, not
     // from a different graph shape per point.
-    let graph = Arc::new(SiteGraph::generate(&point_config(1, OPS_TOTAL).graph));
+    let graph = Arc::new(SiteGraph::generate(
+        &point_config(1, OPS_TOTAL, ShardMode::Parallel).graph,
+    ));
 
     println!("\n=== C-24: site closed-loop knee (population {MEMBERS}, {OPS_TOTAL} ops/point) ===");
     println!(
@@ -100,7 +109,7 @@ fn sweep() {
     );
     let mut points = Vec::new();
     for drivers in DRIVER_SWEEP {
-        let report = run_point(&graph, drivers);
+        let report = run_point(&graph, drivers, ShardMode::Parallel);
         let slo_ok = report.all_gates_pass();
         println!(
             "{:>8} {:>10} {:>12.0} {:>9.3}ms {:>9.3}ms {:>9.3}ms {:>9.3}ms {:>8}",
@@ -134,6 +143,46 @@ fn sweep() {
         .expect("at least one load point must clear the gates");
     println!("knee: {knee} drivers (highest-throughput SLO-clean point)");
 
+    // Serialized baseline: the deterministic twin (every striped lock
+    // collapsed to one stripe) offered the same concurrency. This is the
+    // pre-sharding runtime — the speedup of the sharded platform at the
+    // same driver count is the figure of merit.
+    let baseline = run_point(&graph, BASELINE_DRIVERS, ShardMode::Deterministic);
+    let sharded_at_baseline = points
+        .iter()
+        .find(|(d, _, _)| *d == BASELINE_DRIVERS)
+        .map(|(_, r, _)| r)
+        .expect("sweep covers the baseline driver count");
+    let speedup =
+        sharded_at_baseline.throughput_ops_per_sec / baseline.throughput_ops_per_sec.max(1e-9);
+    println!(
+        "serialized baseline (Deterministic, {BASELINE_DRIVERS} drivers): {:.0} ops/s, follow p99 {:.3}ms",
+        baseline.throughput_ops_per_sec,
+        p99_ms(&baseline, "follow_write"),
+    );
+    println!(
+        "sharded vs serialized at {BASELINE_DRIVERS} drivers: {:.2}x ({:.0} vs {:.0} ops/s)",
+        speedup,
+        sharded_at_baseline.throughput_ops_per_sec,
+        baseline.throughput_ops_per_sec
+    );
+
+    // Cores-vs-throughput scaling across the sweep's lower points.
+    let throughput_at = |drivers: usize| {
+        points
+            .iter()
+            .find(|(d, _, _)| *d == drivers)
+            .map(|(_, r, _)| r.throughput_ops_per_sec)
+            .unwrap_or(0.0)
+    };
+    let scaling_1_to_8 = throughput_at(8) / throughput_at(1).max(1e-9);
+    println!(
+        "scaling 1->8 drivers: {:.2}x ({:.0} -> {:.0} ops/s)",
+        scaling_1_to_8,
+        throughput_at(1),
+        throughput_at(8)
+    );
+
     // Machine-readable snapshot (recorded into BENCH_site_scale.json).
     let results: Vec<String> = points
         .iter()
@@ -155,7 +204,14 @@ fn sweep() {
         .collect();
     println!(
         "JSON: {{ \"members\": {MEMBERS}, \"ops_total\": {OPS_TOTAL}, \"seed\": {SEED}, \
-         \"knee_drivers\": {knee}, \"results\": [{}] }}",
+         \"knee_drivers\": {knee}, \
+         \"serialized_baseline\": {{ \"mode\": \"deterministic\", \"drivers\": {BASELINE_DRIVERS}, \
+         \"throughput_ops_per_sec\": {:.1}, \"follow_write_p99_ms\": {:.3}, \"slo_ok\": {} }}, \
+         \"speedup_vs_serialized\": {speedup:.2}, \"scaling_1_to_8\": {scaling_1_to_8:.2}, \
+         \"results\": [{}] }}",
+        baseline.throughput_ops_per_sec,
+        p99_ms(&baseline, "follow_write"),
+        baseline.all_gates_pass(),
         results.join(", ")
     );
 }
@@ -167,7 +223,7 @@ fn bench_site_scale(c: &mut Criterion) {
     // (prepare + drive + gate evaluation) as a regression canary.
     let config = {
         let mut config = SiteBenchConfig::smoke(400, 2, 100, SEED);
-        config.platform = platform_shape();
+        config.platform = platform_shape(ShardMode::Parallel);
         config
     };
     let graph = Arc::new(SiteGraph::generate(&config.graph));

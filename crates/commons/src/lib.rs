@@ -31,6 +31,11 @@
 //! * [`hist`] — a latency histogram for the benchmark harness.
 //! * [`metrics`] — the unified metrics registry (counters, gauges,
 //!   histograms) every system exports its observability through.
+//! * [`shard`] — hash-striped locks with ordered multi-stripe acquisition
+//!   (the partitioned-state substrate behind the sharded serving runtime),
+//!   with a deterministic one-stripe twin for chaos replays.
+//! * [`watch`] — a single-value watch channel for config/external-view and
+//!   high-water-mark propagation instead of polling.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -48,8 +53,10 @@ pub mod md5;
 pub mod metrics;
 pub mod ring;
 pub mod schema;
+pub mod shard;
 pub mod sim;
 pub mod varint;
+pub mod watch;
 
 pub use clock::{Occurred, VectorClock, Versioned};
 pub use ring::{HashRing, NodeId, PartitionId, ZoneId};

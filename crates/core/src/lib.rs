@@ -24,6 +24,7 @@ pub mod consumers;
 pub mod platform;
 pub mod site_bench;
 
+pub use li_commons::shard::ShardMode;
 pub use platform::{DataPlatform, PlatformConfig};
 pub use site_bench::{SiteBench, SiteBenchConfig, SiteBenchReport, SloThresholds};
 

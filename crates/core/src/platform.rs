@@ -8,8 +8,9 @@ use bytes::Bytes;
 use li_commons::metrics::{MetricsRegistry, MetricsSnapshot};
 use li_commons::ring::{HashRing, NodeId};
 use li_commons::schema::{Field, FieldType, Record, RecordSchema, Value};
+use li_commons::shard::{ShardMode, ShardedLock};
 use li_commons::sim::{RealClock, SimNetwork};
-use li_databus::{BootstrapServer, DatabusClient, LogShippingAdapter, Relay};
+use li_databus::{BootstrapServer, DatabusClient, LogShippingAdapter, Relay, StreamDispatcher};
 use li_espresso::{DatabaseSchema, EspressoCluster, TableSchema};
 use li_kafka::audit::{AuditedProducer, AUDIT_TOPIC};
 use li_kafka::log::LogConfig;
@@ -35,6 +36,11 @@ pub const PROFILE_TABLE: &str = "Profile";
 
 /// Voldemort read-only store serving PYMK recommendations (§II.C).
 pub const PYMK_STORE: &str = "pymk";
+
+/// Entity stripes behind `follow_company`'s read-modify-write in
+/// [`ShardMode::Parallel`] — comfortably above plausible driver counts so
+/// random member/company pairs rarely collide.
+const FOLLOW_STRIPES: usize = 64;
 
 /// Errors from platform operations (stringly typed at this altitude: the
 /// facade aggregates seven subsystem error types).
@@ -68,6 +74,11 @@ pub struct PlatformConfig {
     pub espresso_partitions: u32,
     /// Partitions of the activity topic.
     pub activity_partitions: u32,
+    /// Shard mode for every striped structure in the platform (primary
+    /// store row stripes, follow-lock stripes). `Deterministic` collapses
+    /// them all to single locks — the serialized twin used for chaos
+    /// replays and as the scaling baseline.
+    pub shard_mode: ShardMode,
 }
 
 impl Default for PlatformConfig {
@@ -78,6 +89,7 @@ impl Default for PlatformConfig {
             espresso_nodes: 3,
             espresso_partitions: 8,
             activity_partitions: 8,
+            shard_mode: ShardMode::Parallel,
         }
     }
 }
@@ -111,18 +123,21 @@ pub struct DataPlatform {
     pub espresso: Arc<EspressoCluster>,
 
     metrics: Arc<MetricsRegistry>,
-    follow_cacher: DatabusClient,
-    search_client: DatabusClient,
+    follow_cacher: Arc<DatabusClient>,
+    search_client: Arc<DatabusClient>,
     event_producer: AuditedProducer,
     mirror: MirrorMaker,
     warehouse: WarehouseLoader,
     activity_partitions: u32,
     /// Stand-in for the primary's row locks: `follow_company` does a
     /// read-modify-write of two association rows, which concurrent
-    /// frontends would otherwise race (lost follows). A real RDBMS
-    /// serializes this inside the transaction; the in-process store
-    /// doesn't, so the facade does.
-    follow_lock: Mutex<()>,
+    /// frontends would otherwise race (lost follows). A real RDBMS takes
+    /// row locks inside the transaction; the in-process store doesn't, so
+    /// the facade stripes by entity — one stripe per member/company hash —
+    /// and a follow holds its member's and company's stripes (acquired in
+    /// ascending order) for the read-modify-write. Follows touching
+    /// disjoint entities no longer serialize.
+    follow_stripes: ShardedLock<()>,
     pymk: Mutex<Option<PymkTier>>,
 }
 
@@ -145,16 +160,19 @@ impl DataPlatform {
             espresso_nodes,
             espresso_partitions,
             activity_partitions,
+            shard_mode,
         } = config;
         // One registry for the whole site: every tier below reports into
         // it, so a single snapshot shows the full pipeline.
         let metrics = MetricsRegistry::new();
 
-        // Primary store (Oracle analog) with the site's tables.
-        let primary = Arc::new(Database::with_metrics(
+        // Primary store (Oracle analog) with the site's tables, row-striped
+        // per the platform shard mode.
+        let primary = Arc::new(Database::with_shard_mode(
             "primary",
             Arc::new(RealClock::new()),
             &metrics,
+            shard_mode,
         ));
         for table in ["member_follows", "company_followers", "member_profile"] {
             primary.create_table(table).map_err(wrap)?;
@@ -185,18 +203,21 @@ impl DataPlatform {
             .add_store(StoreDef::read_write("company-followers"))
             .map_err(wrap)?;
 
-        let follow_cacher = DatabusClient::new(
+        let follow_cacher = Arc::new(DatabusClient::new(
             relay.clone(),
             Some(bootstrap.clone()),
             Arc::new(CompanyFollowCacher::new(
                 voldemort.client("member-follows").map_err(wrap)?,
                 voldemort.client("company-followers").map_err(wrap)?,
             )),
-        );
+        ));
 
         let search = SearchIndexer::new();
-        let search_client =
-            DatabusClient::new(relay.clone(), Some(bootstrap.clone()), search.clone());
+        let search_client = Arc::new(DatabusClient::new(
+            relay.clone(),
+            Some(bootstrap.clone()),
+            search.clone(),
+        ));
 
         // Kafka tier: live cluster + offline mirror + warehouse loader.
         // The live cluster shares the site registry; the offline mirror
@@ -272,19 +293,38 @@ impl DataPlatform {
             mirror,
             warehouse,
             activity_partitions,
-            follow_lock: Mutex::new(()),
+            follow_stripes: ShardedLock::with_mode(shard_mode, FOLLOW_STRIPES, || ()),
             pymk: Mutex::new(None),
         })
+    }
+
+    /// Starts push-style dispatch of the primary's change stream to the
+    /// Databus subscribers (follow cacher + search indexer): the relay's
+    /// SCN watch wakes per-client workers through bounded channels instead
+    /// of every consumer polling. Safe alongside [`Self::pump`] /
+    /// [`Self::pump_streams`] — each client serializes whole poll cycles,
+    /// so no window is delivered twice. Stop (or drop) the returned
+    /// dispatcher to shut the threads down and drain.
+    pub fn start_stream_dispatch(&self) -> StreamDispatcher {
+        StreamDispatcher::start(
+            self.relay.clone(),
+            vec![self.follow_cacher.clone(), self.search_client.clone()],
+            1,
+        )
     }
 
     /// A user follows a company: one transaction against the *primary*
     /// updating both association rows. Derived stores learn about it via
     /// Databus — never written directly.
     pub fn follow_company(&self, member: u64, company: u64) -> Result<(), PlatformError> {
-        // Serialize the two-row read-modify-write (see `follow_lock`):
-        // without this, two concurrent follows of the same member or
-        // company read the same base list and one follow is lost.
-        let _guard = self.follow_lock.lock();
+        // Serialize the two-row read-modify-write per entity (see
+        // `follow_stripes`): without this, two concurrent follows of the
+        // same member or company read the same base list and one follow is
+        // lost. Stripes are acquired in ascending order, so crossing
+        // follows cannot deadlock.
+        let _guards = self
+            .follow_stripes
+            .lock_pair(&("member", member), &("company", company));
         let member_key = member_row_key(member);
         let company_key = company_row_key(company);
         let mut followed = self
@@ -621,6 +661,55 @@ mod tests {
         let mut followers = platform.followers(1).unwrap();
         followers.sort_unstable();
         assert_eq!(followers, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn disjoint_follows_do_not_serialize() {
+        // Regression for the old global follow lock: a follow of one
+        // member/company pair must not block a follow touching entirely
+        // different stripes. Hold the first pair's stripes directly, then
+        // run a disjoint follow on another thread — it must complete while
+        // the stripes are held.
+        let platform = Arc::new(DataPlatform::new(2, 1).unwrap());
+        let held = platform
+            .follow_stripes
+            .stripe_set([("member", 1u64), ("company", 100u64)]);
+        // Find a pair whose stripes are disjoint from the held set.
+        let (member, company) = (2..2000u64)
+            .flat_map(|m| (2000..4000u64).map(move |c| (m, c)))
+            .find(|(m, c)| {
+                let s = platform.follow_stripes.stripe_set([("member", *m), ("company", *c)]);
+                s.iter().all(|id| !held.contains(id))
+            })
+            .expect("a disjoint pair");
+        let guards = platform.follow_stripes.lock_many(&held);
+        let other = Arc::clone(&platform);
+        let h = std::thread::spawn(move || other.follow_company(member, company).unwrap());
+        h.join().unwrap();
+        drop(guards);
+        // And the lost-update guarantee still holds for colliding entities
+        // (covered exhaustively by `concurrent_follows_are_not_lost`).
+        platform.pump().unwrap();
+        assert_eq!(platform.followers(company).unwrap(), vec![member]);
+    }
+
+    #[test]
+    fn stream_dispatch_replaces_polling() {
+        let platform = DataPlatform::new(2, 1).unwrap();
+        let dispatcher = platform.start_stream_dispatch();
+        platform.follow_company(1, 100).unwrap();
+        platform.follow_company(2, 100).unwrap();
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while platform.followers(100).unwrap().len() < 2
+            && std::time::Instant::now() < deadline
+        {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        dispatcher.stop();
+        // Both follows reached the Voldemort cache without any pump() call.
+        let mut followers = platform.followers(100).unwrap();
+        followers.sort_unstable();
+        assert_eq!(followers, vec![1, 2]);
     }
 
     #[test]

@@ -367,8 +367,24 @@ impl SiteBench {
             .map(|d| workload.ops_for_driver(config.seed, d, config.ops_per_driver))
             .collect();
 
+        // Push-style dispatch: when the platform runs sharded (Parallel),
+        // the relay's SCN watch wakes the Databus subscribers through
+        // bounded channels so follow fan-out latency is not a function of
+        // the pump's polling period. The client-side drive lock keeps it
+        // safe alongside the pump thread below — each window is still
+        // delivered exactly once, so the conservation fingerprint stays
+        // deterministic. Deterministic mode skips it: the serialized twin
+        // must not depend on extra threads.
+        let dispatcher = match config.platform.shard_mode {
+            li_commons::shard::ShardMode::Parallel => Some(platform.start_stream_dispatch()),
+            li_commons::shard::ShardMode::Deterministic => None,
+        };
+
         // Background pump: production runs the stream tier continuously;
-        // here a dedicated thread stands in for it during load.
+        // here a dedicated thread stands in for it during load. (The
+        // dispatcher above only covers the Databus subscribers; bootstrap,
+        // Espresso replication, the Kafka mirror and the warehouse still
+        // ride the pump.)
         let stop_pump = Arc::new(AtomicBool::new(false));
         let pump_handle = {
             let platform = Arc::clone(&platform);
@@ -407,6 +423,12 @@ impl SiteBench {
         let load_wall = load_start.elapsed();
         stop_pump.store(true, Ordering::Release);
         pump_handle.join().expect("pump thread panicked");
+        if let Some(dispatcher) = dispatcher {
+            // Joins the dispatch threads and runs a final catch-up drain;
+            // dispatch delivery errors gate the run like pump errors do.
+            let stats = dispatcher.stop();
+            pump_errors.add(stats.errors);
+        }
 
         // Publish the driver-side latency distributions.
         for (tier, hist) in &tier_local {
@@ -689,6 +711,7 @@ mod tests {
             espresso_nodes: 2,
             espresso_partitions: 4,
             activity_partitions: 2,
+            ..PlatformConfig::default()
         };
         let bench = SiteBench::prepare(config).unwrap();
         let report = bench.run().unwrap();

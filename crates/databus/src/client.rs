@@ -121,6 +121,11 @@ pub struct DatabusClient {
     filter: ServerFilter,
     transformation: Transformation,
     checkpoint: Mutex<Scn>,
+    /// Serializes whole poll cycles. With both a periodic pump and a
+    /// push-style dispatcher (see `crate::dispatch`) driving the same
+    /// client, this guarantees exactly-one delivery per window — the
+    /// property the bench's conservation fingerprint counts on.
+    drive: Mutex<()>,
     max_retries: u32,
     batch_windows: usize,
     stats: Mutex<ClientStats>,
@@ -142,6 +147,7 @@ impl DatabusClient {
             filter: ServerFilter::all(),
             transformation: Transformation::new(),
             checkpoint: Mutex::new(0),
+            drive: Mutex::new(()),
             max_retries: 3,
             batch_windows: 64,
             stats: Mutex::new(ClientStats::default()),
@@ -232,7 +238,14 @@ impl DatabusClient {
     /// One poll cycle: pull from the relay; on falling behind, switch to
     /// the bootstrap server (consolidated delta, or full snapshot for a
     /// fresh client), then resume the relay. Returns windows processed.
+    /// Safe to call from multiple threads — cycles serialize on the drive
+    /// lock, so no window is ever delivered twice.
     pub fn poll_once(&self) -> Result<usize, DatabusError> {
+        let _drive = self.drive.lock();
+        self.poll_once_locked()
+    }
+
+    fn poll_once_locked(&self) -> Result<usize, DatabusError> {
         let checkpoint = self.checkpoint();
         match self
             .relay
@@ -315,11 +328,14 @@ impl DatabusClient {
     }
 
     /// Polls until fully caught up with the relay. Returns total windows
-    /// processed.
+    /// processed. Holds the drive lock for the whole run, so concurrent
+    /// drivers (pump thread + dispatcher) take turns instead of
+    /// interleaving within a cycle.
     pub fn catch_up(&self) -> Result<usize, DatabusError> {
+        let _drive = self.drive.lock();
         let mut total = 0;
         loop {
-            let n = self.poll_once()?;
+            let n = self.poll_once_locked()?;
             if n == 0 {
                 return Ok(total);
             }

@@ -70,6 +70,7 @@
 pub mod bootstrap;
 pub mod capture;
 pub mod client;
+pub mod dispatch;
 pub mod event;
 pub mod relay;
 pub mod transform;
@@ -77,6 +78,7 @@ pub mod transform;
 pub use bootstrap::{BootstrapServer, DeltaResult, SnapshotResult};
 pub use capture::{LogShippingAdapter, PollingAdapter};
 pub use client::{ConsumerCallback, DatabusClient, DatabusError};
+pub use dispatch::{DispatchStats, StreamDispatcher};
 pub use event::{FilterSummary, FrozenWindow, ServerFilter, SharedWindow, Window, WindowView};
 pub use relay::{Relay, RelayError};
 pub use transform::{TransformRule, Transformation};

@@ -138,6 +138,10 @@ pub struct Relay {
     /// consumer (or an operator) tell "relay stalled" apart from "stream
     /// idle" — both look like an empty response on the wire.
     served_while_paused: AtomicU64,
+    /// High-water-mark watch: published once per ingest batch with the
+    /// newest buffered SCN, so dispatchers sleep on a change notification
+    /// instead of polling `newest_scn()` in a loop.
+    scn_watch: li_commons::watch::Sender<Scn>,
     registry: Arc<MetricsRegistry>,
     metrics: RelayMetrics,
 }
@@ -177,8 +181,16 @@ impl Relay {
             reads_served: AtomicU64::new(0),
             windows_ingested: AtomicU64::new(0),
             served_while_paused: AtomicU64::new(0),
+            scn_watch: li_commons::watch::channel(0).0,
             registry: Arc::clone(registry),
         }
+    }
+
+    /// Subscribes to the relay's high-water mark: the receiver wakes on
+    /// every ingest batch with the newest buffered SCN. The backbone of
+    /// push-style stream dispatch (see `crate::dispatch`).
+    pub fn scn_watch(&self) -> li_commons::watch::Receiver<Scn> {
+        self.scn_watch.subscribe()
     }
 
     /// The metrics registry this relay (and its clients) report into.
@@ -248,6 +260,7 @@ impl Relay {
         self.windows_ingested.fetch_add(n as u64, Ordering::Relaxed);
         self.metrics.windows_in.add(n as u64);
         self.metrics.newest_scn.set(newest as i64);
+        self.scn_watch.send(newest);
         Ok(n)
     }
 

@@ -58,6 +58,12 @@ pub struct EspressoCluster {
     relays: RwLock<HashMap<NodeId, Arc<Relay>>>,
     participants: Mutex<HashMap<NodeId, Participant>>,
     schemas: RwLock<HashMap<String, SchemaHandle>>,
+    /// Cached external views, one watch receiver per database. The hot
+    /// routing path reads the latest published assignment from here (one
+    /// short lock + an `Arc` clone) instead of a coordination-service get
+    /// plus JSON parse per request; the Helix controller pushes every
+    /// rebalanced view into the watch.
+    views: RwLock<HashMap<String, li_commons::watch::Receiver<Arc<li_helix::Assignment>>>>,
     registry: Arc<MetricsRegistry>,
     metrics: EspressoMetrics,
 }
@@ -96,6 +102,7 @@ impl EspressoCluster {
             relays: RwLock::new(HashMap::new()),
             participants: Mutex::new(HashMap::new()),
             schemas: RwLock::new(HashMap::new()),
+            views: RwLock::new(HashMap::new()),
             metrics: EspressoMetrics::new(&registry),
             registry,
         });
@@ -259,11 +266,24 @@ impl EspressoCluster {
         op()
     }
 
+    /// The latest external view for `db`, from the local watch cache —
+    /// no coordination-service round trip on the request path. The first
+    /// call per database subscribes to the controller's view watch.
+    fn cached_view(&self, db: &str) -> Result<Arc<li_helix::Assignment>, EspressoError> {
+        if let Some(rx) = self.views.read().get(db) {
+            return Ok(rx.get());
+        }
+        let rx = self.controller.watch_external_view(db)?;
+        let view = rx.get();
+        self.views.write().entry(db.to_string()).or_insert(rx);
+        Ok(view)
+    }
+
     /// Routes a resource id to `(partition, master node)`.
     pub fn route(&self, db: &str, resource_id: &str) -> Result<(u32, NodeId), EspressoError> {
         let schema = self.schema(db)?;
         let partition = schema.read().partition_of(resource_id);
-        let view = self.controller.external_view(db)?;
+        let view = self.cached_view(db)?;
         let master = view
             .master_of(PartitionId(partition))
             .ok_or(EspressoError::NoMaster { partition })?;

@@ -22,6 +22,7 @@ use std::sync::Arc;
 
 use li_commons::metrics::{Counter, MetricsRegistry};
 use li_commons::ring::NodeId;
+use li_commons::watch;
 use li_zk::{CreateMode, Session, SessionId, WatchEvent, ZooKeeper};
 
 use crate::compute::{best_possible_state, compute_transitions, ideal_state};
@@ -119,6 +120,11 @@ pub struct Controller {
     session: Session,
     cluster: String,
     handlers: Mutex<HashMap<NodeId, TransitionHandler>>,
+    /// Per-resource external-view watch channels: each rebalance publishes
+    /// the achieved view here as well as to the coordination service, so
+    /// routers hold a locally cached copy instead of doing a ZK get + JSON
+    /// parse per request.
+    view_watch: Mutex<HashMap<String, watch::Sender<Arc<Assignment>>>>,
     registry: Arc<MetricsRegistry>,
     metrics: ControllerMetrics,
 }
@@ -152,6 +158,7 @@ impl Controller {
             session,
             cluster: cluster.to_string(),
             handlers: Mutex::new(HashMap::new()),
+            view_watch: Mutex::new(HashMap::new()),
             registry: Arc::clone(registry),
             metrics: ControllerMetrics::new(registry, cluster),
         })
@@ -241,6 +248,25 @@ impl Controller {
         }
     }
 
+    /// Subscribes to `resource`'s external view: the receiver's
+    /// [`watch::Receiver::get`] is always the latest published assignment
+    /// (seeded from the coordination service on first subscription), and
+    /// every subsequent [`Controller::rebalance`] pushes the new view
+    /// without the subscriber polling ZK.
+    pub fn watch_external_view(
+        &self,
+        resource: &str,
+    ) -> Result<watch::Receiver<Arc<Assignment>>, HelixError> {
+        let mut watches = self.view_watch.lock();
+        if let Some(sender) = watches.get(resource) {
+            return Ok(sender.subscribe());
+        }
+        let current = self.external_view(resource)?;
+        let (tx, rx) = watch::channel(Arc::new(current));
+        watches.insert(resource.to_string(), tx);
+        Ok(rx)
+    }
+
     /// Recomputes BESTPOSSIBLESTATE for `resource`, executes the transition
     /// plan, and publishes the achieved external view. Returns the
     /// transitions that were successfully executed.
@@ -292,6 +318,9 @@ impl Controller {
                     .create(&view_path, json, CreateMode::Persistent)?;
             }
             Err(e) => return Err(e.into()),
+        }
+        if let Some(sender) = self.view_watch.lock().get(resource) {
+            sender.send(Arc::new(achieved));
         }
         Ok(executed)
     }
@@ -499,6 +528,25 @@ mod tests {
         let rx = controller.watch_membership().unwrap();
         zk.expire(parts[1].session_id());
         assert!(rx.try_recv().is_ok());
+    }
+
+    #[test]
+    fn external_view_watch_tracks_rebalances_without_polling() {
+        let (zk, controller, parts, _log) = cluster_with(3);
+        controller
+            .add_resource(ResourceConfig::new("db", 6, 2), &nodes(3))
+            .unwrap();
+        let rx = controller.watch_external_view("db").unwrap();
+        // Seeded from the published view.
+        assert_eq!(*rx.get(), controller.external_view("db").unwrap());
+        // A crash + rebalance pushes the new view into the cached copy.
+        zk.expire(parts[0].session_id());
+        controller.rebalance_all().unwrap();
+        assert_eq!(*rx.get(), controller.external_view("db").unwrap());
+        assert!(
+            (0..6).all(|p| rx.get().master_of(PartitionId(p)) != Some(parts[0].node())),
+            "crashed node no longer mastered in the cached view"
+        );
     }
 
     #[test]

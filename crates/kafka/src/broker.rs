@@ -1,14 +1,25 @@
 //! The broker: a set of partition logs.
+//!
+//! The partition index is hash-striped (PR 7): produce and fetch resolve a
+//! topic-partition through one short stripe lock instead of a broker-wide
+//! map lock, so partitions hosted on the same broker never contend on the
+//! index. The striping is semantics-free — the index is read-mostly and
+//! each [`PartitionLog`] has its own interior locking — so the
+//! deterministic twin ([`ShardMode::Deterministic`], one stripe) exists
+//! only to keep lock behavior replayable under the chaos harness.
 
-use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::Arc;
 
 use li_commons::metrics::{Counter, Gauge, MetricsRegistry};
+use li_commons::shard::{ShardMode, ShardedLock};
 use li_commons::sim::Clock;
 
 use crate::log::{LogConfig, PartitionLog};
 use crate::message::{FetchChunk, KafkaError, Message, MessageSet};
+
+/// Index stripes per broker in [`ShardMode::Parallel`].
+const INDEX_STRIPES: usize = 16;
 
 /// Per-broker observability under `kafka.broker<id>.`: messages and bytes
 /// through produce and fetch, plus one `log_end` gauge per hosted
@@ -33,6 +44,14 @@ impl BrokerMetrics {
     }
 }
 
+/// One hosted topic-partition: its log plus the pre-resolved `log_end`
+/// gauge, so the produce hot path does a single index lookup.
+#[derive(Clone)]
+struct PartitionEntry {
+    log: Arc<PartitionLog>,
+    log_end: Gauge,
+}
+
 /// A Kafka broker: "a topic is divided into multiple partitions and each
 /// broker stores one or more of those partitions" (§V.A). The broker holds
 /// no consumer state whatsoever — that is the point.
@@ -40,17 +59,17 @@ pub struct Broker {
     id: u16,
     config: LogConfig,
     clock: Arc<dyn Clock>,
-    logs: RwLock<HashMap<(String, u32), Arc<PartitionLog>>>,
+    logs: ShardedLock<HashMap<(String, u32), PartitionEntry>>,
     registry: Arc<MetricsRegistry>,
     metrics: BrokerMetrics,
-    log_end_gauges: RwLock<HashMap<(String, u32), Gauge>>,
 }
 
 impl std::fmt::Debug for Broker {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let hosted: usize = self.logs.lock_all().iter().map(|g| g.len()).sum();
         f.debug_struct("Broker")
             .field("id", &self.id)
-            .field("partitions", &self.logs.read().len())
+            .field("partitions", &hosted)
             .finish()
     }
 }
@@ -70,29 +89,35 @@ impl Broker {
         clock: Arc<dyn Clock>,
         registry: &Arc<MetricsRegistry>,
     ) -> Self {
+        Self::with_shard_mode(id, config, clock, registry, ShardMode::Parallel)
+    }
+
+    /// [`Broker::with_metrics`] with an explicit index shard mode
+    /// (deterministic = one stripe, for chaos replays).
+    pub fn with_shard_mode(
+        id: u16,
+        config: LogConfig,
+        clock: Arc<dyn Clock>,
+        registry: &Arc<MetricsRegistry>,
+        mode: ShardMode,
+    ) -> Self {
         Broker {
             id,
             config,
             clock,
-            logs: RwLock::new(HashMap::new()),
+            logs: ShardedLock::with_mode(mode, INDEX_STRIPES, HashMap::new),
             registry: Arc::clone(registry),
             metrics: BrokerMetrics::new(registry, id),
-            log_end_gauges: RwLock::new(HashMap::new()),
         }
     }
 
-    fn log_end_gauge(&self, topic: &str, partition: u32) -> Gauge {
-        if let Some(gauge) = self.log_end_gauges.read().get(&(topic.to_string(), partition)) {
-            return gauge.clone();
-        }
-        let gauge = self
-            .registry
-            .gauge(&format!("kafka.topic.{topic}.{partition}.log_end"));
-        self.log_end_gauges
-            .write()
-            .entry((topic.to_string(), partition))
-            .or_insert(gauge)
-            .clone()
+    /// Resolves a topic-partition to its entry via one stripe lock.
+    fn entry(&self, topic: &str, partition: u32) -> Result<PartitionEntry, KafkaError> {
+        self.logs
+            .lock(&(topic, partition))
+            .get(&(topic.to_string(), partition))
+            .cloned()
+            .ok_or_else(|| KafkaError::UnknownTopicPartition(topic.to_string(), partition))
     }
 
     /// This broker's id.
@@ -102,21 +127,20 @@ impl Broker {
 
     /// Creates (idempotently) the log for a topic-partition.
     pub fn create_partition(&self, topic: &str, partition: u32) {
-        self.logs
-            .write()
+        let mut stripe = self.logs.lock(&(topic, partition));
+        stripe
             .entry((topic.to_string(), partition))
-            .or_insert_with(|| {
-                Arc::new(PartitionLog::new(self.config.clone(), self.clock.clone()))
+            .or_insert_with(|| PartitionEntry {
+                log: Arc::new(PartitionLog::new(self.config.clone(), self.clock.clone())),
+                log_end: self
+                    .registry
+                    .gauge(&format!("kafka.topic.{topic}.{partition}.log_end")),
             });
     }
 
     /// The log of a topic-partition.
     pub fn log(&self, topic: &str, partition: u32) -> Result<Arc<PartitionLog>, KafkaError> {
-        self.logs
-            .read()
-            .get(&(topic.to_string(), partition))
-            .cloned()
-            .ok_or_else(|| KafkaError::UnknownTopicPartition(topic.to_string(), partition))
+        Ok(self.entry(topic, partition)?.log)
     }
 
     /// Appends one (possibly wrapper) message; returns its offset.
@@ -126,11 +150,11 @@ impl Broker {
         partition: u32,
         message: &Message,
     ) -> Result<u64, KafkaError> {
-        let log = self.log(topic, partition)?;
-        let offset = log.append(message);
+        let entry = self.entry(topic, partition)?;
+        let offset = entry.log.append(message);
         self.metrics.produce_messages.inc();
         self.metrics.bytes_in.add(message.payload.len() as u64);
-        self.log_end_gauge(topic, partition).set(log.log_end() as i64);
+        entry.log_end.set(entry.log.log_end() as i64);
         Ok(offset)
     }
 
@@ -143,11 +167,11 @@ impl Broker {
         partition: u32,
         set: &MessageSet,
     ) -> Result<u64, KafkaError> {
-        let log = self.log(topic, partition)?;
-        let first = log.append_set(set);
+        let entry = self.entry(topic, partition)?;
+        let first = entry.log.append_set(set);
         self.metrics.produce_messages.add(set.messages.len() as u64);
         self.metrics.bytes_in.add(set.payload_bytes() as u64);
-        self.log_end_gauge(topic, partition).set(log.log_end() as i64);
+        entry.log_end.set(entry.log.log_end() as i64);
         Ok(first)
     }
 
@@ -163,11 +187,11 @@ impl Broker {
         messages: u64,
         payload_bytes: usize,
     ) -> Result<u64, KafkaError> {
-        let log = self.log(topic, partition)?;
-        let first = log.append_frames(frames)?;
+        let entry = self.entry(topic, partition)?;
+        let first = entry.log.append_frames(frames)?;
         self.metrics.produce_messages.add(messages);
         self.metrics.bytes_in.add(payload_bytes as u64);
-        self.log_end_gauge(topic, partition).set(log.log_end() as i64);
+        entry.log_end.set(entry.log.log_end() as i64);
         Ok(first)
     }
 
@@ -214,31 +238,51 @@ impl Broker {
     /// Replaces a partition's log with a fresh one (replication layer:
     /// resetting a divergent replica before re-replication).
     pub fn reset_partition(&self, topic: &str, partition: u32) {
-        self.logs.write().insert(
-            (topic.to_string(), partition),
-            Arc::new(PartitionLog::new(self.config.clone(), self.clock.clone())),
-        );
+        let mut stripe = self.logs.lock(&(topic, partition));
+        let log = Arc::new(PartitionLog::new(self.config.clone(), self.clock.clone()));
+        match stripe.get_mut(&(topic.to_string(), partition)) {
+            Some(entry) => entry.log = log,
+            None => {
+                stripe.insert(
+                    (topic.to_string(), partition),
+                    PartitionEntry {
+                        log,
+                        log_end: self
+                            .registry
+                            .gauge(&format!("kafka.topic.{topic}.{partition}.log_end")),
+                    },
+                );
+            }
+        }
     }
 
     /// Flushes every partition (time-policy tick / shutdown).
     pub fn flush_all(&self) {
-        for log in self.logs.read().values() {
-            log.flush();
+        for stripe in self.logs.lock_all() {
+            for entry in stripe.values() {
+                entry.log.flush();
+            }
         }
     }
 
     /// Runs the retention SLA on every partition; returns segments deleted.
     pub fn enforce_retention(&self) -> usize {
         self.logs
-            .read()
-            .values()
-            .map(|log| log.enforce_retention())
+            .lock_all()
+            .iter()
+            .flat_map(|stripe| stripe.values())
+            .map(|entry| entry.log.enforce_retention())
             .sum()
     }
 
     /// Topic-partitions hosted here.
     pub fn partitions(&self) -> Vec<(String, u32)> {
-        let mut keys: Vec<(String, u32)> = self.logs.read().keys().cloned().collect();
+        let mut keys: Vec<(String, u32)> = self
+            .logs
+            .lock_all()
+            .iter()
+            .flat_map(|stripe| stripe.keys().cloned())
+            .collect();
         keys.sort();
         keys
     }
@@ -295,5 +339,25 @@ mod tests {
         b.produce("t", 0, &MessageSet::from_payloads(["only in 0"])).unwrap();
         assert_eq!(b.fetch("t", 0, 0, usize::MAX).unwrap().0.len(), 1);
         assert!(b.fetch("t", 1, 0, usize::MAX).unwrap().0.is_empty());
+    }
+
+    #[test]
+    fn index_lookup_does_not_cross_stripes() {
+        // Holding one partition's index stripe must not block produce on a
+        // partition in a different stripe.
+        let b = Arc::new(broker());
+        b.create_partition("t", 0);
+        let other = (1..1000u32)
+            .find(|p| b.logs.stripe_of(&("t", *p)) != b.logs.stripe_of(&("t", 0u32)))
+            .expect("a partition in another stripe");
+        b.create_partition("t", other);
+        let guard = b.logs.lock(&("t", 0u32));
+        let b2 = b.clone();
+        let h = std::thread::spawn(move || {
+            b2.produce("t", other, &MessageSet::from_payloads(["x"]))
+                .unwrap()
+        });
+        assert_eq!(h.join().unwrap(), 0);
+        drop(guard);
     }
 }

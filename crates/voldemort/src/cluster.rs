@@ -6,7 +6,7 @@ use li_commons::failure::{FailureDetector, FailureDetectorConfig};
 use li_commons::metrics::MetricsRegistry;
 use li_commons::ring::{HashRing, NodeId, PartitionId, ZoneId};
 use li_commons::sim::{Clock, RealClock, SimNetwork};
-use parking_lot::{Mutex, RwLock};
+use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::path::Path;
 use std::sync::Arc;
@@ -31,7 +31,14 @@ pub struct VoldemortCluster {
     detector: FailureDetector,
     clock: Arc<dyn Clock>,
     metrics: Arc<MetricsRegistry>,
-    fan_out_pool: Mutex<Option<Arc<FanOutPool>>>,
+    /// Read-mostly handle to the shared fan-out pool: quorum ops take the
+    /// read lock (never the write path once initialized), so concurrent
+    /// clients don't serialize on a mutex just to clone the pool `Arc`.
+    fan_out_pool: RwLock<Option<Arc<FanOutPool>>>,
+    /// How many times `fan_out_pool()` fell through to the init (write)
+    /// path. Stays at 1 after first use — the proof that the per-op read
+    /// path acquires no exclusive lock.
+    pool_init_acquisitions: std::sync::atomic::AtomicU64,
 }
 
 impl std::fmt::Debug for VoldemortCluster {
@@ -97,7 +104,8 @@ impl VoldemortCluster {
             detector: FailureDetector::new(FailureDetectorConfig::default(), clock.clone()),
             clock,
             metrics,
-            fan_out_pool: Mutex::new(None),
+            fan_out_pool: RwLock::new(None),
+            pool_init_acquisitions: std::sync::atomic::AtomicU64::new(0),
         }))
     }
 
@@ -124,11 +132,28 @@ impl VoldemortCluster {
 
     /// The shared worker pool behind every client's parallel quorum
     /// fan-out. Created lazily on first use, so clusters that only ever
-    /// run the deterministic inline mode spawn no threads.
+    /// run the deterministic inline mode spawn no threads. After that
+    /// first call, every acquisition is a shared read-lock clone — no
+    /// exclusive lock on the per-operation path.
     pub fn fan_out_pool(&self) -> Arc<FanOutPool> {
-        let mut slot = self.fan_out_pool.lock();
-        slot.get_or_insert_with(|| Arc::new(FanOutPool::new(8)))
-            .clone()
+        if let Some(pool) = self.fan_out_pool.read().as_ref() {
+            return Arc::clone(pool);
+        }
+        self.pool_init_acquisitions
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        Arc::clone(
+            self.fan_out_pool
+                .write()
+                .get_or_insert_with(|| Arc::new(FanOutPool::new(8))),
+        )
+    }
+
+    /// Times the slow (exclusive-lock) path of [`Self::fan_out_pool`] ran.
+    /// Settles at a small constant (1, absent a benign init race) no
+    /// matter how many quorum operations execute.
+    pub fn fan_out_pool_init_acquisitions(&self) -> u64 {
+        self.pool_init_acquisitions
+            .load(std::sync::atomic::Ordering::Relaxed)
     }
 
     /// A node handle.
@@ -453,6 +478,28 @@ mod tests {
             cluster.delete_store("follows"),
             Err(VoldemortError::UnknownStore(_))
         ));
+    }
+
+    #[test]
+    fn fan_out_pool_reads_take_no_exclusive_lock_after_init() {
+        let cluster = VoldemortCluster::new(8, 2).unwrap();
+        assert_eq!(cluster.fan_out_pool_init_acquisitions(), 0, "lazy");
+        let first = cluster.fan_out_pool();
+        assert_eq!(cluster.fan_out_pool_init_acquisitions(), 1);
+        // 16 concurrent acquisitions all ride the read path.
+        let mut handles = Vec::new();
+        for _ in 0..16 {
+            let cluster = cluster.clone();
+            handles.push(std::thread::spawn(move || cluster.fan_out_pool()));
+        }
+        for h in handles {
+            assert!(Arc::ptr_eq(&h.join().unwrap(), &first), "one shared pool");
+        }
+        assert_eq!(
+            cluster.fan_out_pool_init_acquisitions(),
+            1,
+            "zero exclusive acquisitions on the read path"
+        );
     }
 
     #[test]

@@ -33,6 +33,12 @@ echo "== chaos sweep: 20 seeds x 6 scenarios (10 min budget) =="
 # CHAOS_SEED=<n> repro line.
 CHAOS_SEEDS=20 timeout 600 cargo test -q --test chaos -- chaos_sweep_
 
+echo "== sharding proptests: 64 cases (default is 32) =="
+# The deterministic-twin contract of the sharded serving runtime:
+# Parallel must be byte-identical to Deterministic on seeded replays and
+# lose no commits under concurrent disjoint lanes.
+SHARDING_PROPTEST_CASES=64 cargo test -q --test sharding_props
+
 echo "== site smoke: closed-loop SLO gates at CI population (5 min budget) =="
 # A larger population than the per-test default (which keeps plain
 # `cargo test` fast); knobs are overridable from the environment. The
@@ -42,6 +48,17 @@ SITE_SMOKE_MEMBERS="${SITE_SMOKE_MEMBERS:-3000}" \
 SITE_SMOKE_DRIVERS="${SITE_SMOKE_DRIVERS:-4}" \
 SITE_SMOKE_OPS="${SITE_SMOKE_OPS:-600}" \
   timeout 300 cargo test -q --test site_scale
+
+echo "== contended site smoke: 8 closed-loop drivers on the sharded runtime (5 min budget) =="
+# Drives the striped-lock serving paths (sqlstore row stripes, Kafka
+# partition index, follow stripes, push dispatch) at real contention.
+# Deterministic per-driver op streams; the timeout is a tripwire for a
+# serialization regression (a global lock would blow the p99 gates long
+# before it), not flakiness.
+SITE_SMOKE_MEMBERS="${SITE_SMOKE_MEMBERS:-3000}" \
+SITE_SMOKE_DRIVERS=8 \
+SITE_SMOKE_OPS="${SITE_SMOKE_OPS:-600}" \
+  timeout 300 cargo test -q --test site_scale site_smoke_clears_all_slo_gates
 
 echo "== cargo clippy --workspace --all-targets -- -D warnings =="
 cargo clippy --workspace --all-targets -- -D warnings

@@ -29,6 +29,7 @@ fn smoke_config() -> SiteBenchConfig {
         espresso_nodes: 3,
         espresso_partitions: 8,
         activity_partitions: 4,
+        ..PlatformConfig::default()
     };
     config
 }

@@ -1,9 +1,10 @@
 //! Minimal `crossbeam`-compatible channels.
 //!
 //! Provides the `crossbeam::channel` subset the workspace uses: unbounded
-//! multi-producer multi-consumer channels whose `Sender` and `Receiver`
-//! both implement `Clone`. Backed by a mutex-protected queue plus a
-//! condvar; throughput is adequate for the simulation workloads here.
+//! and bounded multi-producer multi-consumer channels whose `Sender` and
+//! `Receiver` both implement `Clone`. Backed by a mutex-protected queue
+//! plus condvars; throughput is adequate for the simulation workloads
+//! here.
 
 /// Multi-producer multi-consumer channels.
 pub mod channel {
@@ -16,6 +17,10 @@ pub mod channel {
     struct Shared<T> {
         queue: Mutex<VecDeque<T>>,
         ready: Condvar,
+        /// Signalled when a slot frees up in a bounded channel.
+        vacancy: Condvar,
+        /// `None` = unbounded.
+        capacity: Option<usize>,
         senders: AtomicUsize,
         receivers: AtomicUsize,
     }
@@ -41,6 +46,15 @@ pub mod channel {
     /// Error returned when sending on a channel with no receivers left.
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
     pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Sender::try_send`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The channel is bounded and currently full.
+        Full(T),
+        /// All receivers have disconnected.
+        Disconnected(T),
+    }
 
     /// Error returned by [`Receiver::try_recv`].
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -75,28 +89,68 @@ pub mod channel {
         }
     }
 
-    /// Creates an unbounded channel.
-    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    fn shared<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
         let shared = Arc::new(Shared {
             queue: Mutex::new(VecDeque::new()),
             ready: Condvar::new(),
+            vacancy: Condvar::new(),
+            capacity,
             senders: AtomicUsize::new(1),
             receivers: AtomicUsize::new(1),
         });
         (Sender(shared.clone()), Receiver(shared))
     }
 
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        shared(None)
+    }
+
+    /// Creates a bounded channel holding at most `capacity` values
+    /// (minimum 1). [`Sender::send`] blocks while full — backpressure —
+    /// and [`Sender::try_send`] fails fast with [`TrySendError::Full`].
+    pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+        shared(Some(capacity.max(1)))
+    }
+
     impl<T> Sender<T> {
-        /// Enqueues `value`; fails only when every receiver is gone.
+        /// Enqueues `value`, blocking while a bounded channel is full;
+        /// fails only when every receiver is gone.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut queue = self.0.queue.lock().unwrap_or_else(PoisonError::into_inner);
+            if let Some(cap) = self.0.capacity {
+                while queue.len() >= cap {
+                    if self.0.receivers.load(Ordering::Acquire) == 0 {
+                        return Err(SendError(value));
+                    }
+                    queue = self
+                        .0
+                        .vacancy
+                        .wait(queue)
+                        .unwrap_or_else(PoisonError::into_inner);
+                }
+            }
             if self.0.receivers.load(Ordering::Acquire) == 0 {
                 return Err(SendError(value));
             }
-            self.0
-                .queue
-                .lock()
-                .unwrap_or_else(PoisonError::into_inner)
-                .push_back(value);
+            queue.push_back(value);
+            self.0.ready.notify_one();
+            Ok(())
+        }
+
+        /// Enqueues without blocking: a full bounded channel returns
+        /// [`TrySendError::Full`] (the caller's coalescing point).
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            if self.0.receivers.load(Ordering::Acquire) == 0 {
+                return Err(TrySendError::Disconnected(value));
+            }
+            let mut queue = self.0.queue.lock().unwrap_or_else(PoisonError::into_inner);
+            if let Some(cap) = self.0.capacity {
+                if queue.len() >= cap {
+                    return Err(TrySendError::Full(value));
+                }
+            }
+            queue.push_back(value);
             self.0.ready.notify_one();
             Ok(())
         }
@@ -107,7 +161,10 @@ pub mod channel {
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
             let mut queue = self.0.queue.lock().unwrap_or_else(PoisonError::into_inner);
             match queue.pop_front() {
-                Some(value) => Ok(value),
+                Some(value) => {
+                    self.0.vacancy.notify_one();
+                    Ok(value)
+                }
                 None if self.0.senders.load(Ordering::Acquire) == 0 => {
                     Err(TryRecvError::Disconnected)
                 }
@@ -121,6 +178,7 @@ pub mod channel {
             let mut queue = self.0.queue.lock().unwrap_or_else(PoisonError::into_inner);
             loop {
                 if let Some(value) = queue.pop_front() {
+                    self.0.vacancy.notify_one();
                     return Ok(value);
                 }
                 if self.0.senders.load(Ordering::Acquire) == 0 {
@@ -169,7 +227,10 @@ pub mod channel {
 
     impl<T> Drop for Receiver<T> {
         fn drop(&mut self) {
-            self.0.receivers.fetch_sub(1, Ordering::AcqRel);
+            if self.0.receivers.fetch_sub(1, Ordering::AcqRel) == 1 {
+                // Blocked bounded senders must observe the disconnect.
+                self.0.vacancy.notify_all();
+            }
         }
     }
 
@@ -199,6 +260,40 @@ pub mod channel {
             let (tx, rx) = unbounded();
             drop(rx);
             assert_eq!(tx.send(7), Err(SendError(7)));
+        }
+
+        #[test]
+        fn bounded_try_send_reports_full() {
+            let (tx, rx) = bounded(2);
+            tx.try_send(1).unwrap();
+            tx.try_send(2).unwrap();
+            assert!(matches!(tx.try_send(3), Err(TrySendError::Full(3))));
+            assert_eq!(rx.try_recv(), Ok(1));
+            tx.try_send(3).unwrap();
+        }
+
+        #[test]
+        fn bounded_send_blocks_until_vacancy() {
+            let (tx, rx) = bounded(1);
+            tx.send(1).unwrap();
+            let h = std::thread::spawn(move || {
+                tx.send(2).unwrap(); // blocks until the reader drains
+                2
+            });
+            std::thread::sleep(Duration::from_millis(20));
+            assert_eq!(rx.try_recv(), Ok(1));
+            assert_eq!(h.join().unwrap(), 2);
+            assert_eq!(rx.recv_timeout(Duration::from_millis(100)), Ok(2));
+        }
+
+        #[test]
+        fn bounded_blocked_sender_unblocks_on_receiver_drop() {
+            let (tx, rx) = bounded(1);
+            tx.send(1).unwrap();
+            let h = std::thread::spawn(move || tx.send(2));
+            std::thread::sleep(Duration::from_millis(20));
+            drop(rx);
+            assert_eq!(h.join().unwrap(), Err(SendError(2)));
         }
 
         #[test]
