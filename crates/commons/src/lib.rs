@@ -51,6 +51,7 @@ pub mod fnv;
 pub mod hist;
 pub mod md5;
 pub mod metrics;
+pub mod migrate;
 pub mod ring;
 pub mod schema;
 pub mod shard;

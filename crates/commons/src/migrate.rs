@@ -1,0 +1,513 @@
+//! Phased online partition migration (ROADMAP item 4).
+//!
+//! The paper's serving systems all assume static partition maps; real
+//! deployments move partitions *live*. This module is the system-agnostic
+//! coordinator for that move: a step-driven state machine walking the
+//! phases
+//!
+//! ```text
+//!   Snapshot ──► DeltaCatchup ──► DualWrite ──► Done
+//!   (bulk copy)  (journal/binlog   (writes land │
+//!                 replay rounds)    on both      └ atomic cutover flip,
+//!                                   sides;         executed only after
+//!                                   shadow-read    clean verification)
+//!                                   verification)
+//! ```
+//!
+//! with a terminal `Refused` state when shadow verification finds a
+//! persistent divergence — the cutover flip is *never* executed from a
+//! mismatched state, so a corrupted target can't be promoted.
+//!
+//! The coordinator owns phase bookkeeping, per-phase metrics, and the
+//! refusal policy; everything system-specific (what a snapshot is, where
+//! the delta journal lives, how ownership flips) hides behind
+//! [`MigrationDriver`], implemented by the Voldemort cluster (partition
+//! move with a write journal) and the Espresso cluster (partition move via
+//! binlog/relay delta plus a Helix external-view flip).
+//!
+//! # Determinism
+//!
+//! Like the rest of the chaos substrate, the coordinator has no threads,
+//! no wall clock, and no RNG: [`MigrationCoordinator::step`] performs
+//! exactly one phase-advancing unit of work and returns. Seeded tests
+//! interleave `step` calls with client traffic and fault injection to get
+//! byte-identical replays; production callers just loop
+//! [`MigrationCoordinator::run`]. A driver error (e.g. the donor is
+//! unreachable mid-crash) leaves the phase unchanged, so the same step can
+//! be retried after the fault heals.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::metrics::{Counter, Gauge, MetricsRegistry};
+
+/// Where a migration currently is. Phases only ever advance (or jump to
+/// the terminal [`MigrationPhase::Refused`]); there is no backward motion,
+/// which is what makes "reads were never blocked, acked writes never
+/// dropped" provable per phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MigrationPhase {
+    /// Bulk-copying a point-in-time image of the partition to the target.
+    /// Live traffic keeps hitting the source; acked writes are journaled.
+    Snapshot,
+    /// Replaying journal/binlog deltas that accumulated behind the
+    /// snapshot, round by round, until a round finds nothing to replay.
+    DeltaCatchup,
+    /// Writes land synchronously on both source and target; shadow reads
+    /// compare the two until the verifier sees clean rounds.
+    DualWrite,
+    /// Ownership flipped atomically; the migration is over.
+    Done,
+    /// Shadow verification found a persistent divergence: the flip was
+    /// refused and the source remains authoritative.
+    Refused,
+}
+
+impl MigrationPhase {
+    fn gauge_value(self) -> i64 {
+        match self {
+            MigrationPhase::Snapshot => 1,
+            MigrationPhase::DeltaCatchup => 2,
+            MigrationPhase::DualWrite => 3,
+            MigrationPhase::Done => 4,
+            MigrationPhase::Refused => -1,
+        }
+    }
+}
+
+impl std::fmt::Display for MigrationPhase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            MigrationPhase::Snapshot => "snapshot",
+            MigrationPhase::DeltaCatchup => "delta_catchup",
+            MigrationPhase::DualWrite => "dual_write",
+            MigrationPhase::Done => "done",
+            MigrationPhase::Refused => "refused",
+        };
+        f.write_str(name)
+    }
+}
+
+/// One shadow-verification round's outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct VerifyReport {
+    /// Keys (or rows) compared between source and target this round.
+    pub compared: u64,
+    /// Keys whose source and target images diverged.
+    pub mismatches: u64,
+}
+
+/// Errors surfaced by [`MigrationCoordinator::step`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MigrationError {
+    /// The driver couldn't perform the phase's work (node unreachable,
+    /// storage error, ...). The phase is unchanged; retry after healing.
+    Driver(String),
+    /// Shadow verification kept finding divergence after every allowed
+    /// retry: the cutover flip was refused and the migration is terminal.
+    ShadowMismatch {
+        /// Keys compared in the refusing round.
+        compared: u64,
+        /// Keys still diverging in the refusing round.
+        mismatches: u64,
+    },
+    /// `step` was called on a migration already in a terminal phase.
+    Terminal(MigrationPhase),
+}
+
+impl std::fmt::Display for MigrationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MigrationError::Driver(e) => write!(f, "migration driver error: {e}"),
+            MigrationError::ShadowMismatch {
+                compared,
+                mismatches,
+            } => write!(
+                f,
+                "cutover refused: shadow verification found {mismatches} \
+                 divergent keys out of {compared} compared"
+            ),
+            MigrationError::Terminal(phase) => {
+                write!(f, "migration already terminal in phase {phase}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MigrationError {}
+
+/// The system-specific half of a migration. Every method is a *bounded*
+/// unit of work (one copy pass, one journal drain, one comparison round) —
+/// the coordinator provides the looping, so drivers stay deterministic and
+/// interruptible.
+pub trait MigrationDriver {
+    /// Bulk-copies the partition's current image to the target. Returns
+    /// the number of items copied. Must be idempotent: a retry after a
+    /// partial copy re-copies (the versioned/at-least-once stores make
+    /// replay safe).
+    fn snapshot(&self) -> Result<u64, String>;
+
+    /// Replays one round of deltas (journal entries / binlog events) that
+    /// accumulated since the snapshot. Returns how many were replayed; `0`
+    /// means the target has caught up with everything acked so far.
+    fn delta_round(&self) -> Result<u64, String>;
+
+    /// Turns on dual-write: from this moment, acked writes land on both
+    /// source and target synchronously.
+    fn begin_dual_write(&self) -> Result<(), String>;
+
+    /// One shadow-read verification round: drain any remaining delta,
+    /// then compare source and target images.
+    fn verify_round(&self) -> Result<VerifyReport, String>;
+
+    /// Atomically flips ownership to the target. Only called after
+    /// verification came back clean — a driver never needs to re-check.
+    fn cutover(&self) -> Result<(), String>;
+
+    /// Tears the migration down without flipping (refusal path): release
+    /// routing state and drop the journal. The source stays authoritative.
+    fn abort(&self);
+}
+
+/// Tuning for [`MigrationCoordinator`]. Defaults suit the in-process
+/// clusters: a handful of delta rounds (dual-write catches the tail) and
+/// enough verify retries to absorb writes that race a comparison round.
+#[derive(Debug, Clone)]
+pub struct MigrationConfig {
+    /// Delta rounds before advancing to dual-write even if the journal
+    /// keeps refilling (dual-write + verification drain the remainder).
+    pub max_delta_rounds: u32,
+    /// Consecutive clean verification rounds required before cutover.
+    pub clean_rounds_to_cut: u32,
+    /// Mismatched verification rounds tolerated (writes racing the
+    /// comparator look divergent for one round) before the flip is
+    /// refused for good.
+    pub verify_retries: u32,
+}
+
+impl Default for MigrationConfig {
+    fn default() -> Self {
+        MigrationConfig {
+            max_delta_rounds: 8,
+            clean_rounds_to_cut: 1,
+            verify_retries: 8,
+        }
+    }
+}
+
+/// Per-phase observability, shared by name across every migration on the
+/// same registry (scope `migration.`).
+#[derive(Debug, Clone)]
+struct MigrationMetrics {
+    snapshot_items: Counter,
+    delta_items: Counter,
+    delta_rounds: Counter,
+    shadow_reads: Counter,
+    shadow_mismatch: Counter,
+    cutover_flips: Counter,
+    cutover_refusals: Counter,
+    phase: Gauge,
+}
+
+impl MigrationMetrics {
+    fn new(registry: &Arc<MetricsRegistry>) -> Self {
+        let scope = registry.scope("migration");
+        MigrationMetrics {
+            snapshot_items: scope.counter("snapshot_items"),
+            delta_items: scope.counter("delta_items"),
+            delta_rounds: scope.counter("delta_rounds"),
+            shadow_reads: scope.counter("shadow_reads"),
+            shadow_mismatch: scope.counter("shadow_mismatch"),
+            cutover_flips: scope.counter("cutover_flips"),
+            cutover_refusals: scope.counter("cutover_refusals"),
+            phase: scope.gauge("phase"),
+        }
+    }
+}
+
+/// Progress counters private to one migration run.
+#[derive(Debug, Default)]
+struct Progress {
+    delta_rounds: u32,
+    clean_rounds: u32,
+    mismatch_rounds: u32,
+}
+
+/// The phased state machine. One coordinator drives one partition move;
+/// construct a fresh one per move (the metrics accumulate across moves by
+/// design — they're the cluster-lifetime migration counters).
+pub struct MigrationCoordinator {
+    config: MigrationConfig,
+    state: Mutex<(MigrationPhase, Progress)>,
+    metrics: MigrationMetrics,
+}
+
+impl MigrationCoordinator {
+    /// A coordinator in the initial [`MigrationPhase::Snapshot`] phase,
+    /// reporting under `migration.` in `registry`.
+    pub fn new(registry: &Arc<MetricsRegistry>, config: MigrationConfig) -> Self {
+        let metrics = MigrationMetrics::new(registry);
+        metrics.phase.set(MigrationPhase::Snapshot.gauge_value());
+        MigrationCoordinator {
+            config,
+            state: Mutex::new((MigrationPhase::Snapshot, Progress::default())),
+            metrics,
+        }
+    }
+
+    /// The current phase.
+    pub fn phase(&self) -> MigrationPhase {
+        self.state.lock().0
+    }
+
+    /// Performs one unit of migration work and returns the phase the
+    /// migration is in afterwards. Driver errors leave the phase unchanged
+    /// (retry later); a persistent shadow mismatch moves to
+    /// [`MigrationPhase::Refused`], aborts the driver, and reports
+    /// [`MigrationError::ShadowMismatch`].
+    pub fn step(&self, driver: &dyn MigrationDriver) -> Result<MigrationPhase, MigrationError> {
+        let mut state = self.state.lock();
+        let (phase, progress) = &mut *state;
+        let next = match *phase {
+            MigrationPhase::Snapshot => {
+                let copied = driver.snapshot().map_err(MigrationError::Driver)?;
+                self.metrics.snapshot_items.add(copied);
+                MigrationPhase::DeltaCatchup
+            }
+            MigrationPhase::DeltaCatchup => {
+                let replayed = driver.delta_round().map_err(MigrationError::Driver)?;
+                self.metrics.delta_items.add(replayed);
+                self.metrics.delta_rounds.inc();
+                progress.delta_rounds += 1;
+                if replayed == 0 || progress.delta_rounds >= self.config.max_delta_rounds {
+                    driver.begin_dual_write().map_err(MigrationError::Driver)?;
+                    MigrationPhase::DualWrite
+                } else {
+                    MigrationPhase::DeltaCatchup
+                }
+            }
+            MigrationPhase::DualWrite => {
+                let report = driver.verify_round().map_err(MigrationError::Driver)?;
+                self.metrics.shadow_reads.add(report.compared);
+                if report.mismatches > 0 {
+                    self.metrics.shadow_mismatch.add(report.mismatches);
+                    progress.clean_rounds = 0;
+                    progress.mismatch_rounds += 1;
+                    if progress.mismatch_rounds > self.config.verify_retries {
+                        // The divergence survived every allowed re-check:
+                        // this is corruption, not a racing write. Refuse
+                        // the flip and stand down.
+                        self.metrics.cutover_refusals.inc();
+                        driver.abort();
+                        *phase = MigrationPhase::Refused;
+                        self.metrics.phase.set(phase.gauge_value());
+                        return Err(MigrationError::ShadowMismatch {
+                            compared: report.compared,
+                            mismatches: report.mismatches,
+                        });
+                    }
+                    MigrationPhase::DualWrite
+                } else {
+                    progress.clean_rounds += 1;
+                    if progress.clean_rounds >= self.config.clean_rounds_to_cut {
+                        driver.cutover().map_err(MigrationError::Driver)?;
+                        self.metrics.cutover_flips.inc();
+                        MigrationPhase::Done
+                    } else {
+                        MigrationPhase::DualWrite
+                    }
+                }
+            }
+            terminal @ (MigrationPhase::Done | MigrationPhase::Refused) => {
+                return Err(MigrationError::Terminal(terminal));
+            }
+        };
+        *phase = next;
+        self.metrics.phase.set(next.gauge_value());
+        Ok(next)
+    }
+
+    /// Drives [`Self::step`] until the migration completes. `max_steps`
+    /// bounds retry loops (a driver erroring forever — e.g. a target that
+    /// never comes back — surfaces the last driver error instead of
+    /// spinning).
+    pub fn run(
+        &self,
+        driver: &dyn MigrationDriver,
+        max_steps: u32,
+    ) -> Result<(), MigrationError> {
+        let mut last_err: Option<MigrationError> = None;
+        for _ in 0..max_steps {
+            match self.step(driver) {
+                Ok(MigrationPhase::Done) => return Ok(()),
+                Ok(_) => last_err = None,
+                Err(e @ MigrationError::ShadowMismatch { .. }) => return Err(e),
+                Err(MigrationError::Terminal(MigrationPhase::Done)) => return Ok(()),
+                Err(e @ MigrationError::Terminal(_)) => return Err(e),
+                Err(e @ MigrationError::Driver(_)) => last_err = Some(e),
+            }
+        }
+        Err(last_err.unwrap_or_else(|| {
+            MigrationError::Driver(format!("migration did not complete in {max_steps} steps"))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// A scripted driver: `deltas` is the journal size observed per delta
+    /// round; `mismatch_rounds` is how many verify rounds diverge before
+    /// going clean (u32::MAX = diverge forever).
+    struct ScriptedDriver {
+        deltas: Vec<u64>,
+        mismatch_rounds: u32,
+        delta_calls: AtomicU64,
+        verify_calls: AtomicU64,
+        dual_write: AtomicU64,
+        cutovers: AtomicU64,
+        aborts: AtomicU64,
+        fail_snapshots: AtomicU64,
+    }
+
+    impl ScriptedDriver {
+        fn new(deltas: Vec<u64>, mismatch_rounds: u32) -> Self {
+            ScriptedDriver {
+                deltas,
+                mismatch_rounds,
+                delta_calls: AtomicU64::new(0),
+                verify_calls: AtomicU64::new(0),
+                dual_write: AtomicU64::new(0),
+                cutovers: AtomicU64::new(0),
+                aborts: AtomicU64::new(0),
+                fail_snapshots: AtomicU64::new(0),
+            }
+        }
+    }
+
+    impl MigrationDriver for ScriptedDriver {
+        fn snapshot(&self) -> Result<u64, String> {
+            if self.fail_snapshots.load(Ordering::SeqCst) > 0 {
+                self.fail_snapshots.fetch_sub(1, Ordering::SeqCst);
+                return Err("donor unreachable".into());
+            }
+            Ok(100)
+        }
+        fn delta_round(&self) -> Result<u64, String> {
+            let i = self.delta_calls.fetch_add(1, Ordering::SeqCst) as usize;
+            Ok(self.deltas.get(i).copied().unwrap_or(0))
+        }
+        fn begin_dual_write(&self) -> Result<(), String> {
+            self.dual_write.fetch_add(1, Ordering::SeqCst);
+            Ok(())
+        }
+        fn verify_round(&self) -> Result<VerifyReport, String> {
+            let i = self.verify_calls.fetch_add(1, Ordering::SeqCst) as u32;
+            Ok(VerifyReport {
+                compared: 10,
+                mismatches: u64::from(i < self.mismatch_rounds),
+            })
+        }
+        fn cutover(&self) -> Result<(), String> {
+            self.cutovers.fetch_add(1, Ordering::SeqCst);
+            Ok(())
+        }
+        fn abort(&self) {
+            self.aborts.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    fn coordinator(config: MigrationConfig) -> (Arc<MetricsRegistry>, MigrationCoordinator) {
+        let registry = MetricsRegistry::new();
+        let coordinator = MigrationCoordinator::new(&registry, config);
+        (registry, coordinator)
+    }
+
+    #[test]
+    fn walks_all_phases_in_order() {
+        let (registry, c) = coordinator(MigrationConfig::default());
+        let driver = ScriptedDriver::new(vec![5, 2, 0], 0);
+        assert_eq!(c.phase(), MigrationPhase::Snapshot);
+        assert_eq!(c.step(&driver).unwrap(), MigrationPhase::DeltaCatchup);
+        assert_eq!(c.step(&driver).unwrap(), MigrationPhase::DeltaCatchup);
+        assert_eq!(c.step(&driver).unwrap(), MigrationPhase::DeltaCatchup);
+        // Third delta round returns 0 -> dual-write begins.
+        assert_eq!(c.step(&driver).unwrap(), MigrationPhase::DualWrite);
+        assert_eq!(driver.dual_write.load(Ordering::SeqCst), 1);
+        assert_eq!(c.step(&driver).unwrap(), MigrationPhase::Done);
+        assert_eq!(driver.cutovers.load(Ordering::SeqCst), 1);
+        let snapshot = registry.snapshot();
+        assert_eq!(snapshot.counter("migration.snapshot_items"), Some(100));
+        assert_eq!(snapshot.counter("migration.delta_items"), Some(7));
+        assert_eq!(snapshot.counter("migration.cutover_flips"), Some(1));
+        assert_eq!(snapshot.counter("migration.shadow_mismatch"), Some(0));
+        assert_eq!(snapshot.gauge("migration.phase"), Some(4));
+    }
+
+    #[test]
+    fn driver_error_keeps_phase_for_retry() {
+        let (_registry, c) = coordinator(MigrationConfig::default());
+        let driver = ScriptedDriver::new(vec![0], 0);
+        driver.fail_snapshots.store(2, Ordering::SeqCst);
+        assert!(matches!(c.step(&driver), Err(MigrationError::Driver(_))));
+        assert_eq!(c.phase(), MigrationPhase::Snapshot);
+        assert!(matches!(c.step(&driver), Err(MigrationError::Driver(_))));
+        // Third attempt succeeds; the run completes.
+        c.run(&driver, 16).unwrap();
+        assert_eq!(c.phase(), MigrationPhase::Done);
+    }
+
+    #[test]
+    fn transient_mismatch_is_retried_then_cut() {
+        let (registry, c) = coordinator(MigrationConfig::default());
+        let driver = ScriptedDriver::new(vec![0], 2);
+        c.run(&driver, 32).unwrap();
+        assert_eq!(c.phase(), MigrationPhase::Done);
+        let snapshot = registry.snapshot();
+        // Both transient rounds were counted, but the flip still happened.
+        assert_eq!(snapshot.counter("migration.shadow_mismatch"), Some(2));
+        assert_eq!(snapshot.counter("migration.cutover_refusals"), Some(0));
+        assert_eq!(snapshot.counter("migration.cutover_flips"), Some(1));
+    }
+
+    #[test]
+    fn persistent_mismatch_refuses_cutover_and_aborts() {
+        let (registry, c) = coordinator(MigrationConfig {
+            verify_retries: 3,
+            ..MigrationConfig::default()
+        });
+        let driver = ScriptedDriver::new(vec![0], u32::MAX);
+        let err = c.run(&driver, 64).unwrap_err();
+        assert!(matches!(err, MigrationError::ShadowMismatch { .. }));
+        assert_eq!(c.phase(), MigrationPhase::Refused);
+        assert_eq!(driver.cutovers.load(Ordering::SeqCst), 0, "flip refused");
+        assert_eq!(driver.aborts.load(Ordering::SeqCst), 1);
+        let snapshot = registry.snapshot();
+        assert_eq!(snapshot.counter("migration.cutover_refusals"), Some(1));
+        assert!(snapshot.counter("migration.shadow_mismatch").unwrap() >= 4);
+        assert_eq!(snapshot.gauge("migration.phase"), Some(-1));
+        // Terminal: further steps are rejected.
+        assert!(matches!(
+            c.step(&driver),
+            Err(MigrationError::Terminal(MigrationPhase::Refused))
+        ));
+    }
+
+    #[test]
+    fn bounded_delta_rounds_advance_under_sustained_traffic() {
+        let (_registry, c) = coordinator(MigrationConfig {
+            max_delta_rounds: 3,
+            ..MigrationConfig::default()
+        });
+        // Journal never drains (live traffic keeps refilling it)...
+        let driver = ScriptedDriver::new(vec![9; 64], 0);
+        c.run(&driver, 32).unwrap();
+        // ...but after max_delta_rounds the coordinator advances anyway and
+        // dual-write + verification absorb the tail.
+        assert_eq!(driver.delta_calls.load(Ordering::SeqCst), 3);
+        assert_eq!(c.phase(), MigrationPhase::Done);
+    }
+}

@@ -6,7 +6,8 @@ use std::time::Duration;
 
 use bytes::Bytes;
 use li_commons::metrics::{MetricsRegistry, MetricsSnapshot};
-use li_commons::ring::{HashRing, NodeId};
+use li_commons::migrate::{MigrationConfig, MigrationCoordinator};
+use li_commons::ring::{HashRing, NodeId, PartitionId};
 use li_commons::schema::{Field, FieldType, Record, RecordSchema, Value};
 use li_commons::shard::{ShardMode, ShardedLock};
 use li_commons::sim::{RealClock, SimNetwork};
@@ -524,6 +525,68 @@ impl DataPlatform {
         self.mirror.pump().map_err(wrap)?;
         self.warehouse.tick().map_err(wrap)?;
         Ok(())
+    }
+
+    /// The migration tuning used by the platform facade: the same phase
+    /// machine as [`MigrationConfig::default`], but with enough delta and
+    /// verify rounds that live traffic racing the shadow comparator (a
+    /// write landing between the source read and the target read shows as
+    /// a transient divergence) converges instead of tripping a refusal.
+    fn migration_config() -> MigrationConfig {
+        MigrationConfig {
+            max_delta_rounds: 32,
+            verify_retries: 64,
+            ..MigrationConfig::default()
+        }
+    }
+
+    /// Live-migrates one Voldemort partition to `to` while serving
+    /// traffic: snapshot copy → journal delta catch-up → dual-write with
+    /// shadow-read verification → atomic cutover. No-op when `to` already
+    /// owns the partition. Reads never block; an acked write is never
+    /// lost across the flip (the client re-checks the topology epoch
+    /// after every ack). Phase progress and counters land under
+    /// `migration.` in the site registry.
+    pub fn migrate_voldemort_partition(
+        &self,
+        partition: PartitionId,
+        to: NodeId,
+    ) -> Result<(), PlatformError> {
+        let Some(driver) = self
+            .voldemort
+            .begin_partition_migration(partition, to)
+            .map_err(wrap)?
+        else {
+            return Ok(());
+        };
+        let coordinator = MigrationCoordinator::new(&self.metrics, Self::migration_config());
+        match coordinator.run(&driver, 256) {
+            Ok(_) => Ok(()),
+            Err(e) => {
+                // Leave the cluster serviceable: drop the half-built
+                // migration so the source stays authoritative.
+                self.voldemort.abort_migration();
+                Err(wrap(e))
+            }
+        }
+    }
+
+    /// Live-migrates one partition of the Espresso profile database to
+    /// `to` (a live node not currently hosting it): snapshot bootstrap →
+    /// binlog delta from the master's relay → shadow verification →
+    /// Helix-driven mastership cutover.
+    pub fn migrate_profile_partition(
+        &self,
+        partition: u32,
+        to: NodeId,
+    ) -> Result<(), PlatformError> {
+        let driver = self
+            .espresso
+            .begin_partition_migration(PROFILE_DB, partition, to)
+            .map_err(wrap)?;
+        MigrationCoordinator::new(&self.metrics, Self::migration_config())
+            .run(&driver, 256)
+            .map_err(wrap)
     }
 
     /// Forces a warehouse load regardless of its period (tests).

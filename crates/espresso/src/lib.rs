@@ -55,6 +55,7 @@
 pub mod cluster;
 pub mod globalindex;
 pub mod index;
+pub mod migrate;
 pub mod node;
 pub mod schema;
 pub mod uri;
@@ -62,6 +63,7 @@ pub mod uri;
 pub use cluster::EspressoCluster;
 pub use globalindex::GlobalIndex;
 pub use index::InvertedIndex;
+pub use migrate::EspressoPartitionMigration;
 pub use node::StorageNode;
 pub use schema::{DatabaseSchema, EspressoError, PartitionStrategy, TableSchema};
 pub use uri::ResourcePath;

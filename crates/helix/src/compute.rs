@@ -69,6 +69,39 @@ pub fn best_possible_state(
     assignment
 }
 
+/// Computes the target partition map for a single-partition move: the
+/// preference lists with `from` replaced (in place, keeping its slot) by
+/// `to` in `partition`'s list. Every other partition's list is untouched,
+/// so the move is surgical — replicas elsewhere don't wander. Moving the
+/// master slot hands `to` mastership once the rebalance promotes it;
+/// moving a slave slot just re-homes that replica.
+pub fn retarget_preference_lists(
+    preference_lists: &[PartitionAssignment],
+    partition: PartitionId,
+    from: NodeId,
+    to: NodeId,
+) -> Result<Vec<PartitionAssignment>, String> {
+    let idx = partition.0 as usize;
+    let Some(prefs) = preference_lists.get(idx) else {
+        return Err(format!(
+            "partition {partition} out of range (resource has {} partitions)",
+            preference_lists.len()
+        ));
+    };
+    if !prefs.contains(&from) {
+        return Err(format!("{from} does not host {partition}"));
+    }
+    if prefs.contains(&to) {
+        return Err(format!("{to} already hosts {partition}"));
+    }
+    let mut next = preference_lists.to_vec();
+    next[idx] = prefs
+        .iter()
+        .map(|&n| if n == from { to } else { n })
+        .collect();
+    Ok(next)
+}
+
 /// Computes the ordered list of single-step transitions taking `current`
 /// to `target` for `resource`.
 ///
@@ -211,6 +244,31 @@ mod tests {
             (plan[2].node, plan[2].from, plan[2].to),
             (NodeId(1), ReplicaState::Slave, ReplicaState::Master)
         );
+    }
+
+    #[test]
+    fn retarget_swaps_one_slot_only() {
+        let config = ResourceConfig::new("db", 4, 2);
+        let (prefs, _) = ideal_state(&config, &nodes(3));
+        let p = PartitionId(1);
+        let from = prefs[1][0];
+        let to = nodes(3)
+            .into_iter()
+            .find(|n| !prefs[1].contains(n))
+            .unwrap();
+        let next = retarget_preference_lists(&prefs, p, from, to).unwrap();
+        assert_eq!(next[1][0], to, "target takes the vacated (master) slot");
+        assert_eq!(next[1][1..], prefs[1][1..], "other replicas keep slots");
+        for (i, list) in next.iter().enumerate() {
+            if i != 1 {
+                assert_eq!(list, &prefs[i], "partition {i} untouched");
+            }
+        }
+        // Rejections: out-of-range partition, non-hosting donor, and a
+        // target that already hosts the partition.
+        assert!(retarget_preference_lists(&prefs, PartitionId(99), from, to).is_err());
+        assert!(retarget_preference_lists(&prefs, p, to, from).is_err());
+        assert!(retarget_preference_lists(&prefs, p, from, prefs[1][1]).is_err());
     }
 
     #[test]

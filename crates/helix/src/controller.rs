@@ -216,6 +216,61 @@ impl Controller {
         Ok(())
     }
 
+    /// The stored preference list of one partition of `resource` (position
+    /// 0 is the intended master).
+    pub fn preference_list(
+        &self,
+        resource: &str,
+        partition: li_commons::ring::PartitionId,
+    ) -> Result<PartitionAssignment, HelixError> {
+        let path = format!("/helix/{}/resources/{resource}", self.cluster);
+        let (data, _) = self
+            .session
+            .get(&path)
+            .map_err(|_| HelixError::UnknownResource(resource.to_string()))?;
+        let meta: ResourceMeta = serde_json::from_slice(&data)
+            .map_err(|e| HelixError::Coordination(e.to_string()))?;
+        meta.preference_lists
+            .get(partition.0 as usize)
+            .cloned()
+            .ok_or_else(|| HelixError::Retarget(format!("partition {partition} out of range")))
+    }
+
+    /// Computes and installs the target partition map for moving one
+    /// replica of `partition` from `from` to `to`, then rebalances. The
+    /// external view — and every [`Controller::watch_external_view`]
+    /// subscriber — flips to the new owner through the normal safety
+    /// phases: the donor demotes and drops first, the newcomer bootstraps
+    /// `Offline → Slave`, and any mastership lands via a final
+    /// `Slave → Master` promotion (which is where Espresso's
+    /// drain-the-relay-before-mastering hook runs).
+    pub fn retarget_partition(
+        &self,
+        resource: &str,
+        partition: li_commons::ring::PartitionId,
+        from: NodeId,
+        to: NodeId,
+    ) -> Result<Vec<Transition>, HelixError> {
+        let path = format!("/helix/{}/resources/{resource}", self.cluster);
+        let (data, stat) = self
+            .session
+            .get(&path)
+            .map_err(|_| HelixError::UnknownResource(resource.to_string()))?;
+        let meta: ResourceMeta = serde_json::from_slice(&data)
+            .map_err(|e| HelixError::Coordination(e.to_string()))?;
+        let preference_lists =
+            crate::compute::retarget_preference_lists(&meta.preference_lists, partition, from, to)
+                .map_err(HelixError::Retarget)?;
+        let next = ResourceMeta {
+            config: meta.config,
+            preference_lists,
+        };
+        let json = serde_json::to_vec(&next)
+            .map_err(|e| HelixError::Coordination(e.to_string()))?;
+        self.session.set(&path, json, Some(stat.version))?;
+        self.rebalance(resource)
+    }
+
     /// Names of managed resources.
     pub fn resources(&self) -> Result<Vec<String>, HelixError> {
         Ok(self
@@ -547,6 +602,58 @@ mod tests {
             (0..6).all(|p| rx.get().master_of(PartitionId(p)) != Some(parts[0].node())),
             "crashed node no longer mastered in the cached view"
         );
+    }
+
+    #[test]
+    fn retarget_moves_mastership_through_safety_phases() {
+        let (_zk, controller, _parts, log) = cluster_with(3);
+        controller
+            .add_resource(ResourceConfig::new("db", 3, 2), &nodes(3))
+            .unwrap();
+        let p = PartitionId(0);
+        let before = controller.external_view("db").unwrap();
+        let donor = before.master_of(p).unwrap();
+        let target = nodes(3)
+            .into_iter()
+            .find(|&n| before.state_of(p, n) == ReplicaState::Offline)
+            .unwrap();
+
+        log.lock().clear();
+        let rx = controller.watch_external_view("db").unwrap();
+        controller.retarget_partition("db", p, donor, target).unwrap();
+
+        let after = controller.external_view("db").unwrap();
+        assert_eq!(after.master_of(p), Some(target), "mastership moved");
+        assert_eq!(after.state_of(p, donor), ReplicaState::Offline);
+        assert_eq!(*rx.get(), after, "watch subscribers saw the flip");
+        // The newcomer passed through Slave before mastering, and the donor
+        // demoted before the promotion happened.
+        let steps = log.lock();
+        let target_steps: Vec<_> = steps.iter().filter(|t| t.node == target).collect();
+        assert_eq!(
+            (target_steps[0].from, target_steps[0].to),
+            (ReplicaState::Offline, ReplicaState::Slave)
+        );
+        let demote_at = steps
+            .iter()
+            .position(|t| t.node == donor && t.to == ReplicaState::Slave)
+            .expect("donor demoted");
+        let promote_at = steps
+            .iter()
+            .position(|t| t.node == target && t.to == ReplicaState::Master)
+            .expect("target promoted");
+        assert!(demote_at < promote_at, "never two masters");
+        drop(steps);
+
+        // Stored preference list reflects the move.
+        let prefs = controller.preference_list("db", p).unwrap();
+        assert!(prefs.contains(&target) && !prefs.contains(&donor));
+        // Invalid move rejected without disturbing the view.
+        assert!(matches!(
+            controller.retarget_partition("db", p, donor, target),
+            Err(HelixError::Retarget(_))
+        ));
+        assert_eq!(controller.external_view("db").unwrap(), after);
     }
 
     #[test]

@@ -59,7 +59,9 @@ pub mod controller;
 pub mod health;
 pub mod model;
 
-pub use compute::{best_possible_state, compute_transitions, ideal_state};
+pub use compute::{
+    best_possible_state, compute_transitions, ideal_state, retarget_preference_lists,
+};
 pub use controller::{Controller, Participant, TransitionHandler};
 pub use health::{check_health, Alert, HealthReport, Severity, SlaConfig};
 pub use model::{

@@ -534,6 +534,13 @@ impl StoreClient {
         }
         let _ = merged_latch.set(merged.clone());
 
+        // During a migration's dual-write phase, shadow-read the gaining
+        // node(s) and compare against the quorum-merged image
+        // (observability only: `migration.shadow_reads` /
+        // `migration.shadow_mismatch`; the cutover refusal decision
+        // belongs to the verifier's own comparison rounds).
+        self.shadow_read_probe(key, &merged);
+
         // Read repair: push missing versions back to stale responders.
         for (node, _, versions) in &responses {
             for version in &merged {
@@ -576,6 +583,45 @@ impl StoreClient {
             None => merged,
         };
         Ok((merged, stats))
+    }
+
+    /// During dual-write, reads the migration target's image of `key` and
+    /// counts a `migration.shadow_mismatch` when it diverges from what the
+    /// read quorum served.
+    fn shadow_read_probe(&self, key: &[u8], merged: &[Versioned<Bytes>]) {
+        let Some(m) = self.cluster.active_migration() else {
+            return;
+        };
+        if !m.dual_write_active() {
+            return;
+        }
+        let gaining = m.moved_targets(key, &self.store);
+        if gaining.is_empty() {
+            return;
+        }
+        let scope = self.cluster.metrics().scope("migration");
+        for t in gaining {
+            let Ok(node) = self.cluster.node(t) else {
+                continue;
+            };
+            if self.cluster.network().deliver(self.origin(), t).is_err() {
+                continue;
+            }
+            let Ok(engine) = node.engine(&self.store.name) else {
+                continue;
+            };
+            let Ok(versions) = engine.get(key) else {
+                continue;
+            };
+            let mut image: Vec<Versioned<Bytes>> = Vec::new();
+            for v in versions {
+                resolve_siblings(&mut image, v);
+            }
+            scope.counter("shadow_reads").inc();
+            if !crate::migrate::image_equal(merged, &image) {
+                scope.counter("shadow_mismatch").inc();
+            }
+        }
     }
 
     /// API method 2: quorum put. `clock` must be the version the caller
@@ -698,6 +744,10 @@ impl StoreClient {
     ) -> Result<VectorClock, VoldemortError> {
         self.enter()?;
         let prefs = self.preference_list(key)?;
+        // Captured before the quorum runs: if a migration cutover flips
+        // routing while this put is in flight, the epoch moves and the
+        // committed version is re-pushed to the new preference list.
+        let epoch = self.cluster.topology_epoch();
         let detector = self.cluster.detector();
         let required = self.store.required_writes;
         let mut acks = 0usize;
@@ -713,6 +763,7 @@ impl StoreClient {
         // mint *identical* clocks, silently losing one write — so this hop
         // stays serial in every mode.
         let mut committed_clock: Option<VectorClock> = None;
+        let mut coordinator_node: Option<NodeId> = None;
         let mut wave_start = prefs.len();
         for (i, &node) in prefs.iter().enumerate() {
             if self.cluster.node(node).is_err() || !detector.is_available(node) {
@@ -724,6 +775,7 @@ impl StoreClient {
                 Ok(latency) => {
                     sim_latency += latency;
                     committed_clock = Some(candidate);
+                    coordinator_node = Some(node);
                     acks = 1;
                     wave_start = i + 1;
                     break;
@@ -888,7 +940,100 @@ impl StoreClient {
                 got: acks,
             });
         }
+
+        // The write is acked: this is the zero-loss capture point for an
+        // in-flight partition migration. For transformed puts the stored
+        // value differs from the input, so it is fetched back from the
+        // coordinator replica that committed it.
+        let stored = match transform {
+            None => value.clone(),
+            Some(_) => self
+                .committed_value(coordinator_node, key, &new_clock)
+                .unwrap_or_else(|| value.clone()),
+        };
+        self.cluster.on_acked_put(
+            &self.store,
+            key,
+            &Versioned::new(new_clock.clone(), stored.clone()),
+            self.origin(),
+        );
+        self.heal_routing_drift(key, &prefs, &new_clock, &stored, epoch);
         Ok(new_clock)
+    }
+
+    /// The value the coordinator replica stored for `clock` (transformed
+    /// puts derive it server-side, so the client reads it back).
+    fn committed_value(
+        &self,
+        coordinator: Option<NodeId>,
+        key: &[u8],
+        clock: &VectorClock,
+    ) -> Option<Bytes> {
+        let node = self.cluster.node(coordinator?).ok()?;
+        let versions = node.engine(&self.store.name).ok()?.get(key).ok()?;
+        versions
+            .into_iter()
+            .find(|v| v.clock == *clock)
+            .map(|v| v.value)
+    }
+
+    /// If the topology changed while this put was in flight (a cutover
+    /// flip raced the quorum), the acked version may live only on the old
+    /// replica set. Re-route and push the committed version to any node
+    /// that just became a replica, so a flip cannot orphan an acked write.
+    /// Unreachable new replicas get the write parked as a hint —
+    /// `deliver_hints` routes via the current ring, so it lands there.
+    fn heal_routing_drift(
+        &self,
+        key: &[u8],
+        prefs: &[NodeId],
+        clock: &VectorClock,
+        value: &Bytes,
+        epoch_before: u64,
+    ) {
+        if self.cluster.topology_epoch() == epoch_before {
+            return;
+        }
+        let Ok(now_prefs) = self.preference_list(key) else {
+            return;
+        };
+        let detector = self.cluster.detector();
+        for node in now_prefs.iter().copied().filter(|n| !prefs.contains(n)) {
+            let versioned = Versioned::new(clock.clone(), value.clone());
+            let landed = self
+                .cluster
+                .node(node)
+                .ok()
+                .filter(|_| self.cluster.network().deliver(self.origin(), node).is_ok())
+                .is_some_and(|server| {
+                    server
+                        .force_put(&self.store.name, key, versioned.clone())
+                        .is_ok()
+                });
+            if landed {
+                continue;
+            }
+            for holder_id in self
+                .cluster
+                .node_ids()
+                .into_iter()
+                .filter(|n| !now_prefs.contains(n) && detector.is_available(*n))
+            {
+                let Ok(holder) = self.cluster.node(holder_id) else {
+                    continue;
+                };
+                if self.cluster.network().deliver(self.origin(), holder_id).is_ok() {
+                    holder.store_hint(Hint {
+                        store: self.store.name.clone(),
+                        target: node,
+                        key: Bytes::copy_from_slice(key),
+                        value: versioned,
+                    });
+                    self.metrics.hinted_writes.inc();
+                    break;
+                }
+            }
+        }
     }
 
     /// Builds the background hinted-handoff handler for put stragglers
@@ -942,6 +1087,7 @@ impl StoreClient {
     pub fn delete(&self, key: &[u8], clock: &VectorClock) -> Result<bool, VoldemortError> {
         self.enter()?;
         let prefs = self.preference_list(key)?;
+        let epoch = self.cluster.topology_epoch();
         let required = self.store.required_writes;
         let mut tasks: Vec<FanOutTask<(Duration, bool), VoldemortError>> = Vec::new();
         for &node in &prefs {
@@ -978,6 +1124,22 @@ impl StoreClient {
             });
         }
         let any_deleted = report.successes().any(|(_, (_, deleted))| *deleted);
+        // Acked-delete capture for an in-flight migration, plus the same
+        // cutover-race heal as puts (replay the delete on any replica the
+        // key just gained).
+        self.cluster
+            .on_acked_delete(&self.store, key, clock, self.origin());
+        if self.cluster.topology_epoch() != epoch {
+            if let Ok(now_prefs) = self.preference_list(key) {
+                for node in now_prefs.into_iter().filter(|n| !prefs.contains(n)) {
+                    if let Ok(server) = self.cluster.node(node) {
+                        if self.cluster.network().deliver(self.origin(), node).is_ok() {
+                            let _ = server.delete(&self.store.name, key, clock);
+                        }
+                    }
+                }
+            }
+        }
         Ok(any_deleted)
     }
 

@@ -1,19 +1,24 @@
 //! The cluster runtime: nodes, topology, failure detection, admin service.
 
-use li_commons::clock::Occurred;
+use bytes::Bytes;
+use li_commons::clock::{resolve_siblings, Occurred, VectorClock, Versioned};
 use li_commons::exec::FanOutPool;
 use li_commons::failure::{FailureDetector, FailureDetectorConfig};
+use li_commons::fnv::fnv1a;
 use li_commons::metrics::MetricsRegistry;
+use li_commons::migrate::{MigrationConfig, MigrationCoordinator};
 use li_commons::ring::{HashRing, NodeId, PartitionId, ZoneId};
 use li_commons::sim::{Clock, RealClock, SimNetwork};
 use parking_lot::RwLock;
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use crate::client::StoreClient;
 use crate::engine::{BdbLikeEngine, MemoryEngine, StorageEngine};
 use crate::error::VoldemortError;
+use crate::migrate::{ActiveMigration, JournaledWrite, PartitionMigration};
 use crate::readonly::{ReadOnlyEngine, ReadOnlyStore};
 use crate::routing::Router;
 use crate::server::VoldemortNode;
@@ -39,6 +44,16 @@ pub struct VoldemortCluster {
     /// path. Stays at 1 after first use — the proof that the per-op read
     /// path acquires no exclusive lock.
     pool_init_acquisitions: std::sync::atomic::AtomicU64,
+    /// The (at most one) in-flight partition migration. Client ack hooks
+    /// take the read side per acked write; cutover takes the write side,
+    /// so the final journal drain cannot race an in-flight append.
+    /// Lock order: this lock before `router`, everywhere.
+    migration: RwLock<Option<Arc<ActiveMigration>>>,
+    /// Bumped on every routing change (cutover flip, rebalance). Clients
+    /// capture it before routing a write and re-check after the ack: if it
+    /// moved, the preference list may have flipped mid-flight and the
+    /// committed version is pushed to any newly-gained replica.
+    topology_epoch: AtomicU64,
 }
 
 impl std::fmt::Debug for VoldemortCluster {
@@ -106,6 +121,8 @@ impl VoldemortCluster {
             metrics,
             fan_out_pool: RwLock::new(None),
             pool_init_acquisitions: std::sync::atomic::AtomicU64::new(0),
+            migration: RwLock::new(None),
+            topology_epoch: AtomicU64::new(0),
         }))
     }
 
@@ -281,57 +298,88 @@ impl VoldemortCluster {
     }
 
     /// Replays hinted-handoff hints whose targets are reachable again.
-    /// Returns the number of hints delivered.
+    /// Returns the number of replica force-puts performed.
     ///
-    /// A hint can race a concurrent client put: the target may already
-    /// hold a version that supersedes (or equals) the parked write. Such
-    /// hints are dropped instead of replayed — force-putting them would
+    /// Hints are routed via the ring *as it is now*, not the ring at park
+    /// time: a partition move can cut over while hints are pending, and
+    /// replaying to the old preference-list owner would strand the write
+    /// on a node no longer serving the key. The hint's original target is
+    /// tried first when it is still a replica; every other current replica
+    /// missing the version also gets it.
+    ///
+    /// A hint can race a concurrent client put: a replica may already hold
+    /// a version that supersedes (or equals) the parked write. Such hints
+    /// are dropped instead of replayed — force-putting them would
     /// resurrect an overwritten version as a spurious sibling. Dropped
-    /// hints count under `voldemort.hints.dropped_obsolete`.
+    /// hints count under `voldemort.hints.dropped_obsolete`. A hint whose
+    /// write could not be landed on (or confirmed at) any current replica
+    /// is re-parked for a later round.
     pub fn deliver_hints(&self) -> usize {
         let dropped_obsolete = self
             .metrics
             .scope("voldemort.hints")
             .counter("dropped_obsolete");
         let mut delivered = 0;
-        let targets: Vec<NodeId> = self.node_ids();
         // Sorted so replay order (and any RNG the network consumes per
         // delivery) is deterministic run-to-run.
         let mut holders: Vec<Arc<VoldemortNode>> = self.nodes.read().values().cloned().collect();
         holders.sort_by_key(|n| n.id());
         for holder in &holders {
-            for &target in &targets {
-                if target == holder.id() {
+            for hint in holder.take_all_hints() {
+                let Ok(def) = self.store_def(&hint.store) else {
+                    holder.store_hint(hint);
                     continue;
-                }
-                if self.network.deliver(holder.id(), target).is_err() {
+                };
+                let Ok(prefs) = self.route(&def, &hint.key) else {
+                    holder.store_hint(hint);
                     continue;
+                };
+                let mut candidates: Vec<NodeId> = Vec::with_capacity(prefs.len());
+                if prefs.contains(&hint.target) {
+                    candidates.push(hint.target);
                 }
-                for hint in holder.take_hints_for(target) {
-                    if let Ok(target_node) = self.node(target) {
-                        let obsolete = target_node
-                            .get(&hint.store, &hint.key)
-                            .map(|current| {
-                                current.iter().any(|v| {
-                                    matches!(
-                                        v.clock.compare(&hint.value.clock),
-                                        Occurred::After | Occurred::Equal
-                                    )
-                                })
+                candidates.extend(prefs.iter().copied().filter(|n| *n != hint.target));
+                let mut landed = false;
+                let mut superseded = false;
+                for &target in &candidates {
+                    let Ok(target_node) = self.node(target) else {
+                        continue;
+                    };
+                    if target != holder.id()
+                        && self.network.deliver(holder.id(), target).is_err()
+                    {
+                        continue;
+                    }
+                    let obsolete = target_node
+                        .get(&hint.store, &hint.key)
+                        .map(|current| {
+                            current.iter().any(|v| {
+                                matches!(
+                                    v.clock.compare(&hint.value.clock),
+                                    Occurred::After | Occurred::Equal
+                                )
                             })
-                            .unwrap_or(false);
-                        if obsolete {
-                            dropped_obsolete.inc();
-                            continue;
-                        }
-                        if target_node
-                            .force_put(&hint.store, &hint.key, hint.value.clone())
-                            .is_ok()
-                        {
-                            delivered += 1;
-                        } else {
-                            holder.store_hint(hint);
-                        }
+                        })
+                        .unwrap_or(false);
+                    if obsolete {
+                        superseded = true;
+                        continue;
+                    }
+                    if target_node
+                        .force_put(&hint.store, &hint.key, hint.value.clone())
+                        .is_ok()
+                    {
+                        delivered += 1;
+                        landed = true;
+                    }
+                }
+                // `landed` means a current replica holds it now (read
+                // repair converges the rest), so the hint is done.
+                if !landed {
+                    if superseded {
+                        dropped_obsolete.inc();
+                    } else {
+                        holder.store_hint(hint);
                     }
                 }
             }
@@ -344,48 +392,315 @@ impl VoldemortCluster {
         self.nodes.read().values().map(|n| n.hint_count()).sum()
     }
 
-    /// Admin: migrates one logical partition to `to` for all read-write
-    /// stores, then atomically flips ownership in the routing table.
-    /// Requests during the copy keep hitting the old owner; the flip under
-    /// the router write lock is the "redirecting requests of moving
-    /// partitions to their new destination" moment.
-    pub fn migrate_partition(
-        &self,
+    /// Monotonic routing-change counter: bumped on every cutover flip and
+    /// topology change. Clients capture it before routing a write and
+    /// re-check after the ack to detect a cutover that raced the quorum.
+    pub fn topology_epoch(&self) -> u64 {
+        self.topology_epoch.load(Ordering::Acquire)
+    }
+
+    /// The read-write store definitions, sorted by name (deterministic
+    /// iteration order for migration phases and fingerprints). Read-only
+    /// stores are excluded everywhere data moves by entry copy: they move
+    /// via a fresh pull from the build output instead.
+    pub(crate) fn rw_store_defs(&self) -> Vec<StoreDef> {
+        let mut defs: Vec<StoreDef> = self
+            .stores
+            .read()
+            .values()
+            .filter(|d| d.engine != EngineKind::ReadOnly)
+            .cloned()
+            .collect();
+        defs.sort_by(|a, b| a.name.cmp(&b.name));
+        defs
+    }
+
+    /// Begins an online migration of `partition` to `to`, returning the
+    /// step-driven [`PartitionMigration`] driver (or `None` when `to`
+    /// already owns the partition). At most one migration is in flight at
+    /// a time. Reads and writes are never blocked: routing keeps serving
+    /// the source ring until [`li_commons::migrate::MigrationCoordinator`]
+    /// walks the driver through snapshot → delta catch-up → dual-write →
+    /// cutover.
+    pub fn begin_partition_migration(
+        self: &Arc<Self>,
         partition: PartitionId,
         to: NodeId,
-    ) -> Result<(), VoldemortError> {
-        // Copy phase (router still points at the donor).
-        let (donor, ring) = {
+    ) -> Result<Option<PartitionMigration>, VoldemortError> {
+        self.node(to)?;
+        let (donor, source_ring) = {
             let router = self.router.read();
+            if partition.0 >= router.ring().num_partitions() {
+                return Err(VoldemortError::Admin(format!(
+                    "partition {partition} out of range"
+                )));
+            }
             (router.ring().owner_of(partition), router.ring().clone())
         };
         if donor == to {
-            return Ok(());
+            return Ok(None);
         }
-        let target = self.node(to)?;
-        let donor_node = self.node(donor)?;
-        let stores: Vec<StoreDef> = self.stores.read().values().cloned().collect();
-        for def in &stores {
-            if def.engine == EngineKind::ReadOnly {
-                // Read-only stores move via a fresh pull from the build
-                // output, not via entry copy.
-                continue;
+        let mut target_ring = source_ring.clone();
+        target_ring
+            .reassign(partition, to)
+            .map_err(|e| VoldemortError::Admin(e.to_string()))?;
+        let state = Arc::new(ActiveMigration::new(
+            partition,
+            donor,
+            to,
+            source_ring,
+            target_ring,
+        ));
+        {
+            let mut slot = self.migration.write();
+            if slot.is_some() {
+                return Err(VoldemortError::Admin(
+                    "a partition migration is already in flight".into(),
+                ));
             }
-            let engine = donor_node.engine(&def.name)?;
-            for (key, versions) in engine.entries() {
-                let master = ring.master_partition(&key);
-                let replicas = ring.replica_partitions(master, def.replication)?;
-                if replicas.contains(&partition) {
-                    for version in versions {
-                        target.force_put(&def.name, &key, version)?;
-                    }
+            *slot = Some(Arc::clone(&state));
+        }
+        Ok(Some(PartitionMigration::new(Arc::clone(self), state)))
+    }
+
+    /// The in-flight migration's state, if any (client ack/shadow hooks).
+    pub(crate) fn active_migration(&self) -> Option<Arc<ActiveMigration>> {
+        self.migration.read().clone()
+    }
+
+    /// The partition currently being migrated, if any.
+    pub fn migration_in_flight(&self) -> Option<PartitionId> {
+        self.migration.read().as_ref().map(|m| m.partition)
+    }
+
+    /// Tears down the in-flight migration without flipping ownership. The
+    /// source stays authoritative; the journal (and any data already
+    /// copied to the target) is simply dropped — copied versions are
+    /// duplicates of what the source replicas still serve.
+    pub fn abort_migration(&self) {
+        *self.migration.write() = None;
+    }
+
+    pub(crate) fn clear_migration(&self) {
+        self.abort_migration();
+    }
+
+    /// Client ack hook: an acked put lands in the journal when the key's
+    /// placement changes at cutover, and mirrors synchronously to the
+    /// gaining nodes during dual-write. Called with no cluster locks held;
+    /// routing decisions use the migration's ring snapshots, never the
+    /// router lock.
+    pub(crate) fn on_acked_put(
+        &self,
+        def: &StoreDef,
+        key: &[u8],
+        value: &Versioned<Bytes>,
+        origin: NodeId,
+    ) {
+        let guard = self.migration.read();
+        let Some(m) = guard.as_ref() else {
+            return;
+        };
+        let gaining = m.moved_targets(key, def);
+        if gaining.is_empty() {
+            return;
+        }
+        m.journal.lock().push(JournaledWrite::Put {
+            store: def.name.clone(),
+            key: Bytes::copy_from_slice(key),
+            value: value.clone(),
+        });
+        if m.dual_write_active() {
+            // Best-effort synchronous mirror; the journal is the backstop
+            // for any target the network refuses right now.
+            for t in gaining {
+                if self.network.deliver(origin, t).is_err() {
+                    continue;
+                }
+                if let Ok(node) = self.node(t) {
+                    let _ = node.force_put(&def.name, key, value.clone());
                 }
             }
         }
-        // Flip phase: atomic wrt routing.
-        let mut router = self.router.write();
-        router.ring_mut().reassign(partition, to)?;
+    }
+
+    /// Client ack hook for deletes (same contract as
+    /// [`Self::on_acked_put`]).
+    pub(crate) fn on_acked_delete(
+        &self,
+        def: &StoreDef,
+        key: &[u8],
+        clock: &VectorClock,
+        origin: NodeId,
+    ) {
+        let guard = self.migration.read();
+        let Some(m) = guard.as_ref() else {
+            return;
+        };
+        let gaining = m.moved_targets(key, def);
+        if gaining.is_empty() {
+            return;
+        }
+        m.journal.lock().push(JournaledWrite::Delete {
+            store: def.name.clone(),
+            key: Bytes::copy_from_slice(key),
+            clock: clock.clone(),
+        });
+        if m.dual_write_active() {
+            for t in gaining {
+                if self.network.deliver(origin, t).is_err() {
+                    continue;
+                }
+                if let Ok(node) = self.node(t) {
+                    let _ = node.delete(&def.name, key, clock);
+                }
+            }
+        }
+    }
+
+    /// Drains the migration journal and replays every entry to the nodes
+    /// gaining the key. Returns how many entries were replayed; on error
+    /// the unreplayed tail is pushed back for retry (replay order across a
+    /// retry may interleave with fresh appends, which is safe: force-put
+    /// and clock-checked delete are order-insensitive).
+    pub(crate) fn migration_drain_journal(
+        &self,
+        m: &ActiveMigration,
+    ) -> Result<u64, VoldemortError> {
+        let entries: Vec<JournaledWrite> = std::mem::take(&mut *m.journal.lock());
+        let count = entries.len() as u64;
+        for (i, entry) in entries.iter().enumerate() {
+            if let Err(e) = self.migration_replay_entry(m, entry) {
+                m.journal.lock().extend(entries[i..].iter().cloned());
+                return Err(e);
+            }
+        }
+        Ok(count)
+    }
+
+    fn migration_replay_entry(
+        &self,
+        m: &ActiveMigration,
+        entry: &JournaledWrite,
+    ) -> Result<(), VoldemortError> {
+        match entry {
+            JournaledWrite::Put { store, key, value } => {
+                let def = self.store_def(store)?;
+                for t in m.moved_targets(key, &def) {
+                    self.node(t)?.force_put(store, key, value.clone())?;
+                }
+            }
+            JournaledWrite::Delete { store, key, clock } => {
+                let def = self.store_def(store)?;
+                for t in m.moved_targets(key, &def) {
+                    self.node(t)?.delete(store, key, clock)?;
+                }
+            }
+        }
         Ok(())
+    }
+
+    /// The atomic cutover flip. Takes the migration write lock (waiting
+    /// out any in-flight ack capture), drains the journal one final time,
+    /// then flips ownership under the router write lock and bumps the
+    /// topology epoch — an acked write either made it into the journal
+    /// (drained here, before the flip) or acks after the flip and sees the
+    /// epoch change. Lock order: migration before router, as everywhere.
+    pub(crate) fn migration_cutover(&self, m: &ActiveMigration) -> Result<(), VoldemortError> {
+        let mut migration = self.migration.write();
+        self.migration_drain_journal(m)?;
+        {
+            let mut router = self.router.write();
+            router.ring_mut().reassign(m.partition, m.to)?;
+        }
+        self.topology_epoch.fetch_add(1, Ordering::Release);
+        *migration = None;
+        Ok(())
+    }
+
+    /// A stable digest of the cluster's logical contents: for every
+    /// read-write store (sorted) and key (sorted union across all nodes),
+    /// the sibling-resolved *values* served by the key's current
+    /// preference list. Clocks are deliberately excluded — the coordinator
+    /// node that stamps a clock depends on routing history, so a migrated
+    /// cluster and a never-migrated twin agree on values but not clocks.
+    pub fn state_fingerprint(&self) -> u64 {
+        let mut buf: Vec<u8> = Vec::new();
+        let mut holders: Vec<Arc<VoldemortNode>> = self.nodes.read().values().cloned().collect();
+        holders.sort_by_key(|n| n.id());
+        for def in self.rw_store_defs() {
+            buf.extend_from_slice(def.name.as_bytes());
+            buf.push(0);
+            let mut keys: BTreeSet<Bytes> = BTreeSet::new();
+            for node in &holders {
+                if let Ok(engine) = node.engine(&def.name) {
+                    for (key, _) in engine.entries() {
+                        keys.insert(key);
+                    }
+                }
+            }
+            for key in keys {
+                let Ok(prefs) = self.route(&def, &key) else {
+                    continue;
+                };
+                let mut merged: Vec<Versioned<Bytes>> = Vec::new();
+                for id in prefs {
+                    let Ok(node) = self.node(id) else { continue };
+                    let Ok(engine) = node.engine(&def.name) else {
+                        continue;
+                    };
+                    let Ok(versions) = engine.get(&key) else {
+                        continue;
+                    };
+                    for v in versions {
+                        resolve_siblings(&mut merged, v);
+                    }
+                }
+                if merged.is_empty() {
+                    // Absent from every serving replica (deleted, or donor
+                    // residue a flip left behind on a non-replica).
+                    continue;
+                }
+                let mut values: Vec<&Bytes> = merged.iter().map(|v| &v.value).collect();
+                values.sort();
+                buf.extend_from_slice(&(key.len() as u64).to_le_bytes());
+                buf.extend_from_slice(&key);
+                buf.extend_from_slice(&(values.len() as u64).to_le_bytes());
+                for value in values {
+                    buf.extend_from_slice(&(value.len() as u64).to_le_bytes());
+                    buf.extend_from_slice(value);
+                }
+            }
+        }
+        fnv1a(&buf)
+    }
+
+    /// Admin: migrates one logical partition to `to` for all read-write
+    /// stores — the whole phased state machine (snapshot → delta catch-up
+    /// → dual-write + shadow verification → atomic flip) run to
+    /// completion. Requests during the move keep hitting the old owner;
+    /// the flip under the migration + router write locks is the
+    /// "redirecting requests of moving partitions to their new
+    /// destination" moment. Step-driven callers (chaos, proptests) use
+    /// [`Self::begin_partition_migration`] directly.
+    pub fn migrate_partition(
+        self: &Arc<Self>,
+        partition: PartitionId,
+        to: NodeId,
+    ) -> Result<(), VoldemortError> {
+        let Some(driver) = self.begin_partition_migration(partition, to)? else {
+            return Ok(());
+        };
+        let coordinator = MigrationCoordinator::new(&self.metrics, MigrationConfig::default());
+        let result = coordinator
+            .run(&driver, 64)
+            .map_err(|e| VoldemortError::Admin(e.to_string()));
+        if result.is_err() {
+            // Shadow-mismatch refusals already aborted via the driver;
+            // clear any other failure too so the cluster isn't wedged.
+            self.abort_migration();
+        }
+        result
     }
 
     /// Admin: adds a fresh node to the cluster (zone 0) without downtime —
@@ -397,7 +712,7 @@ impl VoldemortCluster {
     /// pull phase against the next build, which already targets the new
     /// topology.
     pub fn rebalance_in_new_node(
-        &self,
+        self: &Arc<Self>,
         id: NodeId,
     ) -> Result<Vec<PartitionId>, VoldemortError> {
         {
@@ -427,8 +742,11 @@ impl VoldemortCluster {
             router.ring_mut().add_node(id, ZoneId(0));
             router.ring().plan_rebalance(id)
         };
+        self.topology_epoch.fetch_add(1, Ordering::Release);
         let mut moved = Vec::with_capacity(moves.len());
         for (partition, _, to) in moves {
+            // Each move runs the full phased machine (live traffic keeps
+            // flowing between moves).
             self.migrate_partition(partition, to)?;
             moved.push(partition);
         }
@@ -519,6 +837,218 @@ mod tests {
             cluster.add_store(StoreDef::read_only("ro")),
             Err(VoldemortError::Admin(_))
         ));
+    }
+
+    #[test]
+    fn phased_migration_journals_and_dual_writes_under_traffic() {
+        use li_commons::migrate::{MigrationConfig, MigrationCoordinator, MigrationPhase};
+
+        let cluster = VoldemortCluster::new(8, 3).unwrap();
+        cluster
+            .add_store(StoreDef::read_write("s").with_quorum(1, 1, 1))
+            .unwrap();
+        let client = cluster.client("s").unwrap();
+        for i in 0..100 {
+            client
+                .put_initial(format!("k{i}").as_bytes(), Bytes::from(format!("v{i}")))
+                .unwrap();
+        }
+        let partition = cluster.ring().partitions_of(NodeId(0))[0];
+        let driver = cluster
+            .begin_partition_migration(partition, NodeId(2))
+            .unwrap()
+            .unwrap();
+        assert_eq!(cluster.migration_in_flight(), Some(partition));
+        let coordinator =
+            MigrationCoordinator::new(cluster.metrics(), MigrationConfig::default());
+        assert_eq!(
+            coordinator.step(&driver).unwrap(),
+            MigrationPhase::DeltaCatchup
+        );
+
+        // A key in the placement diff, written after the snapshot: it must
+        // be journaled for delta replay.
+        let moving_key = (0..1000)
+            .map(|i| format!("m{i}").into_bytes())
+            .find(|k| cluster.ring().master_partition(k) == partition)
+            .unwrap();
+        client
+            .put_initial(&moving_key, Bytes::from_static(b"after-snapshot"))
+            .unwrap();
+        assert_eq!(driver.journal_len(), 1, "acked write captured");
+
+        // Delta rounds drain the journal, then dual-write begins.
+        let mut phase = coordinator.step(&driver).unwrap();
+        while phase == MigrationPhase::DeltaCatchup {
+            phase = coordinator.step(&driver).unwrap();
+        }
+        assert_eq!(phase, MigrationPhase::DualWrite);
+
+        // Dual-write: an acked write mirrors to the target synchronously.
+        let clock = client.get(&moving_key).unwrap()[0].clock.clone();
+        client
+            .put(&moving_key, &clock, Bytes::from_static(b"dual-written"))
+            .unwrap();
+        let target_engine = cluster.node(NodeId(2)).unwrap().engine("s").unwrap();
+        assert!(
+            target_engine
+                .get(&moving_key)
+                .unwrap()
+                .iter()
+                .any(|v| v.value.as_ref() == b"dual-written"),
+            "dual-write mirrors synchronously"
+        );
+
+        // Verification is clean; the flip lands and routing serves node 2.
+        while coordinator.phase() != MigrationPhase::Done {
+            coordinator.step(&driver).unwrap();
+        }
+        assert_eq!(cluster.ring().owner_of(partition), NodeId(2));
+        assert!(cluster.migration_in_flight().is_none());
+        let got = client.get(&moving_key).unwrap();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].value.as_ref(), b"dual-written");
+        for i in 0..100 {
+            assert_eq!(client.get(format!("k{i}").as_bytes()).unwrap().len(), 1);
+        }
+        let snap = cluster.metrics().snapshot();
+        assert_eq!(snap.counter("migration.cutover_flips"), Some(1));
+        assert_eq!(snap.counter("migration.cutover_refusals"), Some(0));
+    }
+
+    #[test]
+    fn hints_replay_to_new_owner_after_cutover() {
+        // Regression: hints parked before a partition move used to replay
+        // to the *old* preference-list owner after cutover, stranding the
+        // write on a node no longer serving the key.
+        let cluster = VoldemortCluster::new(8, 4).unwrap();
+        cluster
+            .add_store(StoreDef::read_write("s").with_quorum(2, 1, 2))
+            .unwrap();
+        let client = cluster.client("s").unwrap();
+        let key = b"hinted-key";
+        let prefs = cluster.route(&cluster.store_def("s").unwrap(), key).unwrap();
+
+        // Both replicas down: the put acks purely via hints on the two
+        // fallback nodes.
+        cluster.network().crash(prefs[0]);
+        cluster.network().crash(prefs[1]);
+        client
+            .put_initial(key, Bytes::from_static(b"hinted-value"))
+            .unwrap();
+        assert_eq!(cluster.pending_hints(), 2);
+        cluster.network().restart(prefs[0]);
+        cluster.network().restart(prefs[1]);
+
+        // Move the key's master partition to a node outside the old
+        // preference list while the hints are still pending.
+        let partition = cluster.ring().master_partition(key);
+        let new_owner = *cluster
+            .node_ids()
+            .iter()
+            .find(|n| !prefs.contains(n))
+            .unwrap();
+        cluster.migrate_partition(partition, new_owner).unwrap();
+        let now_prefs = cluster.route(&cluster.store_def("s").unwrap(), key).unwrap();
+        assert_eq!(now_prefs[0], new_owner);
+
+        // Delivery must follow the *current* ring: the value lands on the
+        // new owner, and a quorum read (which contacts the new prefs)
+        // serves it.
+        assert!(cluster.deliver_hints() >= 1);
+        assert_eq!(cluster.pending_hints(), 0);
+        let new_owner_versions = cluster
+            .node(new_owner)
+            .unwrap()
+            .engine("s")
+            .unwrap()
+            .get(key)
+            .unwrap();
+        assert!(
+            new_owner_versions
+                .iter()
+                .any(|v| v.value.as_ref() == b"hinted-value"),
+            "hint routed to the post-cutover owner"
+        );
+        let got = client.get(key).unwrap();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].value.as_ref(), b"hinted-value");
+    }
+
+    #[test]
+    fn planted_divergence_refuses_cutover() {
+        use li_commons::clock::VectorClock;
+        use li_commons::migrate::{
+            MigrationConfig, MigrationCoordinator, MigrationError, MigrationPhase,
+        };
+
+        let cluster = VoldemortCluster::new(8, 3).unwrap();
+        cluster
+            .add_store(StoreDef::read_write("s").with_quorum(1, 1, 1))
+            .unwrap();
+        let client = cluster.client("s").unwrap();
+        for i in 0..50 {
+            client
+                .put_initial(format!("k{i}").as_bytes(), Bytes::from(format!("v{i}")))
+                .unwrap();
+        }
+        let partition = cluster.ring().partitions_of(NodeId(0))[0];
+        let donor = cluster.ring().owner_of(partition);
+        let driver = cluster
+            .begin_partition_migration(partition, NodeId(2))
+            .unwrap()
+            .unwrap();
+        let coordinator = MigrationCoordinator::new(
+            cluster.metrics(),
+            MigrationConfig {
+                verify_retries: 2,
+                ..MigrationConfig::default()
+            },
+        );
+        let mut phase = coordinator.step(&driver).unwrap();
+        while phase != MigrationPhase::DualWrite {
+            phase = coordinator.step(&driver).unwrap();
+        }
+
+        // Deliberately corrupt the target: a version (concurrent clock,
+        // bogus value) the source can never explain, on a key the move
+        // covers.
+        let moving_key = (0..50)
+            .map(|i| format!("k{i}").into_bytes())
+            .find(|k| cluster.ring().master_partition(k) == partition)
+            .expect("some key lands in the moving partition");
+        cluster
+            .node(NodeId(2))
+            .unwrap()
+            .engine("s")
+            .unwrap()
+            .force_put(
+                &moving_key,
+                Versioned::new(VectorClock::with(999, 1), Bytes::from_static(b"corrupt")),
+            )
+            .unwrap();
+
+        // Every verification round now sees the divergence; after the
+        // retry budget the flip is refused and the source stays
+        // authoritative.
+        let err = loop {
+            match coordinator.step(&driver) {
+                Ok(p) => assert_eq!(p, MigrationPhase::DualWrite, "must never cut over"),
+                Err(e) => break e,
+            }
+        };
+        assert!(matches!(err, MigrationError::ShadowMismatch { .. }));
+        assert_eq!(coordinator.phase(), MigrationPhase::Refused);
+        assert_eq!(cluster.ring().owner_of(partition), donor, "flip refused");
+        assert!(cluster.migration_in_flight().is_none(), "aborted");
+        let snap = cluster.metrics().snapshot();
+        assert!(snap.counter("migration.shadow_mismatch").unwrap() > 0);
+        assert_eq!(snap.counter("migration.cutover_refusals"), Some(1));
+        assert_eq!(snap.counter("migration.cutover_flips"), Some(0));
+        // The cluster is usable again: the same partition can be migrated
+        // to a clean target.
+        cluster.migrate_partition(partition, NodeId(1)).unwrap();
+        assert_eq!(cluster.ring().owner_of(partition), NodeId(1));
     }
 
     #[test]

@@ -57,6 +57,7 @@ pub mod client;
 pub mod cluster;
 pub mod engine;
 pub mod error;
+pub mod migrate;
 pub mod readonly;
 pub mod routing;
 pub mod server;
@@ -68,4 +69,5 @@ pub use client::{
 };
 pub use cluster::VoldemortCluster;
 pub use error::VoldemortError;
+pub use migrate::PartitionMigration;
 pub use store::{EngineKind, StoreDef};

@@ -210,6 +210,16 @@ impl VoldemortNode {
         matched
     }
 
+    /// Drains every parked hint regardless of target. Delivery-time
+    /// routing (the current ring) decides where each one lands, so hints
+    /// survive a partition moving out from under their original target.
+    pub fn take_all_hints(&self) -> Vec<Hint> {
+        let mut hints = self.hints.lock();
+        let drained: Vec<Hint> = hints.drain(..).collect();
+        self.metrics.hints_pending.sub(drained.len() as i64);
+        drained
+    }
+
     /// Number of hints currently parked on this node.
     pub fn hint_count(&self) -> usize {
         self.hints.lock().len()

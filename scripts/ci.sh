@@ -24,7 +24,7 @@ RELAY_PROPTEST_CASES=64 cargo test -q --test databus_relay_props
 echo "== site graph proptests: 64 cases (default is 32) =="
 SITE_GRAPH_PROPTEST_CASES=64 cargo test -q --test site_graph_props
 
-echo "== chaos sweep: 20 seeds x 6 scenarios (10 min budget) =="
+echo "== chaos sweep: 20 seeds x 9 scenarios (10 min budget) =="
 # Wider seed sweep than the per-test default of 5. Deterministic — only
 # the tail-fanout scenario sleeps (it replays simulated link latencies
 # in real time so completion order follows the network model) — so the
@@ -38,6 +38,13 @@ echo "== sharding proptests: 64 cases (default is 32) =="
 # Parallel must be byte-identical to Deterministic on seeded replays and
 # lose no commits under concurrent disjoint lanes.
 SHARDING_PROPTEST_CASES=64 cargo test -q --test sharding_props
+
+echo "== migration proptests: 64 cases (default is 24) =="
+# Online resharding equivalence: a migrated cluster must end
+# byte-identical to a never-migrated twin under random write
+# interleavings, random cutover points, random admin-fault timings and
+# random abort points — with zero acked-write loss and zero refusals.
+MIGRATION_PROPTEST_CASES=64 cargo test -q --test migration_props
 
 echo "== site smoke: closed-loop SLO gates at CI population (5 min budget) =="
 # A larger population than the per-test default (which keeps plain
@@ -59,6 +66,17 @@ SITE_SMOKE_MEMBERS="${SITE_SMOKE_MEMBERS:-3000}" \
 SITE_SMOKE_DRIVERS=8 \
 SITE_SMOKE_OPS="${SITE_SMOKE_OPS:-600}" \
   timeout 300 cargo test -q --test site_scale site_smoke_clears_all_slo_gates
+
+echo "== site smoke with migration in flight: online resharding mid-load (5 min budget) =="
+# The closed loop with two Voldemort partitions plus an Espresso profile
+# partition migrating off node 0 while the drivers run. Every SLO and
+# conservation gate must stay green and the run must report exactly the
+# expected cutover flips with zero refusals — a wedged delta catch-up or
+# a refused flip trips the timeout or the gate, not flakiness.
+SITE_SMOKE_MEMBERS="${SITE_SMOKE_MEMBERS:-3000}" \
+SITE_SMOKE_DRIVERS="${SITE_SMOKE_DRIVERS:-4}" \
+SITE_SMOKE_OPS="${SITE_SMOKE_OPS:-600}" \
+  timeout 300 cargo test -q --test site_scale site_smoke_with_migration_in_flight_clears_all_gates
 
 echo "== cargo clippy --workspace --all-targets -- -D warnings =="
 cargo clippy --workspace --all-targets -- -D warnings

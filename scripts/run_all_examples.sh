@@ -7,7 +7,7 @@ for example in quickstart site_architecture espresso_music read_replica; do
     echo "================ $example ================"
     cargo run -q --example "$example"
 done
-for example in company_follow pymk_readonly kafka_activity; do
+for example in company_follow pymk_readonly kafka_activity online_resharding; do
     echo "================ $example (release) ================"
     cargo run -q --release --example "$example"
 done

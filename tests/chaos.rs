@@ -18,6 +18,7 @@ use li_commons::chaos::{
     sweep_seeds, ChaosConfig, ChaosFailure, ChaosScheduler, FaultHooks, NetworkOnlyHooks,
 };
 use li_commons::clock::VectorClock;
+use li_commons::migrate::{MigrationConfig, MigrationCoordinator, MigrationPhase};
 use li_commons::ring::{HashRing, NodeId, PartitionId};
 use li_commons::schema::{Field, FieldType, Record, RecordSchema, Value};
 use li_espresso::{DatabaseSchema, EspressoCluster, TableSchema};
@@ -1215,6 +1216,625 @@ fn chaos_sweep_site_closed_loop() {
 }
 
 // ---------------------------------------------------------------------
+// Scenario 6: online partition migration racing donor/target crashes.
+// ---------------------------------------------------------------------
+
+/// Moves one Voldemort partition off its owner through the phased
+/// coordinator (snapshot → delta catch-up → dual-write → cutover) while
+/// the seeded scheduler crash-loops the two nodes that matter — the
+/// donor and the target — and live writes keep flowing the whole time.
+/// A crashed endpoint fails the current phase with a retryable driver
+/// error (the admin reachability gate), never corrupts it. Invariants
+/// at quiesce: the migration completed with exactly one cutover flip
+/// and zero refusals, ownership moved, the routing state was torn down,
+/// every acked write is still readable, and hints drained.
+fn run_migration_vs_donor_crash(seed: u64) -> Result<String, ChaosFailure> {
+    let nodes: Vec<NodeId> = (0..5).map(NodeId).collect();
+    let ring = HashRing::balanced(16, &nodes).unwrap();
+    let partition = PartitionId(0);
+    let donor = ring.owner_of(partition);
+    let to = NodeId((donor.0 + 2) % 5);
+    // Fault domain: only the migration's endpoints, so every scheduled
+    // crash races the move itself.
+    let mut config = ChaosConfig::hooks_only();
+    config.max_down = 1;
+    let mut sched = ChaosScheduler::new(seed, vec![donor, to], config);
+    let clock = sched.clock();
+    let cluster =
+        VoldemortCluster::with_parts(ring, sched.network(), Arc::new(clock.clone())).unwrap();
+    cluster
+        .add_store(StoreDef::read_write("s").with_quorum(3, 2, 2))
+        .unwrap();
+    let client = cluster.client("s").unwrap();
+
+    // Preload before faults so the snapshot phase has an image to copy.
+    let mut acked: Vec<(String, Bytes, VectorClock)> = Vec::new();
+    for i in 0..24u32 {
+        let key = format!("k{i}");
+        let value = Bytes::from(format!("seed-{i}"));
+        let write_clock = client
+            .apply_update(key.as_bytes(), 5, &|_| Some(value.clone()))
+            .unwrap();
+        acked.push((key, value, write_clock));
+    }
+
+    let driver = cluster
+        .begin_partition_migration(partition, to)
+        .unwrap()
+        .expect("donor != target");
+    // Generous verify budget: divergence while an endpoint crash-loops is
+    // lag, not corruption — refusal is reserved for real divergence (see
+    // the planted shadow-mismatch test in the voldemort crate).
+    let coordinator = MigrationCoordinator::new(
+        cluster.metrics(),
+        MigrationConfig {
+            verify_retries: 10_000,
+            ..MigrationConfig::default()
+        },
+    );
+    sched.note(format!(
+        "migrating p{} from node {} to node {}",
+        partition.0, donor.0, to.0
+    ));
+
+    let mut phase = coordinator.phase();
+    for i in 0..120u32 {
+        sched.step(&*cluster);
+        let key = format!("k{}", i % 24);
+        let value = Bytes::from(format!("v{i}"));
+        for _attempt in 0..8 {
+            match client.apply_update(key.as_bytes(), 5, &|_| Some(value.clone())) {
+                Ok(write_clock) => {
+                    acked.push((key.clone(), value.clone(), write_clock));
+                    break;
+                }
+                Err(_) => {
+                    clock.advance(Duration::from_secs(6));
+                    cluster.run_failure_probes();
+                    sched.step(&*cluster);
+                }
+            }
+        }
+        if coordinator.phase() != MigrationPhase::Done {
+            match coordinator.step(&driver) {
+                Ok(next) if next != phase => {
+                    phase = next;
+                    sched.note(format!("op {i}: migration phase -> {next}"));
+                }
+                Ok(_) => {}
+                // A crashed endpoint fails the phase; retried next op.
+                Err(_) => {}
+            }
+        }
+        if i % 30 == 0 {
+            sched.note(format!("op {i}: acked_total={} phase={phase}", acked.len()));
+        }
+    }
+
+    sched.quiesce(&*cluster);
+    for _ in 0..40 {
+        clock.advance(Duration::from_secs(6));
+        cluster.run_failure_probes();
+        cluster.deliver_hints();
+        if cluster.pending_hints() == 0 && cluster.detector().banned_nodes().is_empty() {
+            break;
+        }
+    }
+    if coordinator.phase() != MigrationPhase::Done {
+        if let Err(e) = coordinator.run(&driver, 10_000) {
+            sched.note(format!("migration did not complete after heal: {e}"));
+        }
+    }
+    // The flip repoints hint delivery at the new owners; drain once more.
+    for _ in 0..40 {
+        clock.advance(Duration::from_secs(6));
+        cluster.run_failure_probes();
+        cluster.deliver_hints();
+        if cluster.pending_hints() == 0 {
+            break;
+        }
+    }
+    sched.note(format!(
+        "drained: acked={} phase={} owner=node{}",
+        acked.len(),
+        coordinator.phase(),
+        cluster.ring().owner_of(partition).0
+    ));
+
+    let durability = || -> Result<(), String> {
+        for (key, value, write_clock) in &acked {
+            let siblings = client
+                .get(key.as_bytes())
+                .map_err(|e| format!("read of acked `{key}` failed: {e}"))?;
+            if siblings.is_empty() {
+                return Err(format!("acked key `{key}` unreadable (write lost)"));
+            }
+            if !siblings.iter().any(|v| v.clock.descends_from(write_clock)) {
+                return Err(format!(
+                    "acked write to `{key}` not covered by any surviving version"
+                ));
+            }
+            if let Some(v) = siblings.iter().find(|v| v.clock == *write_clock) {
+                if v.value != *value {
+                    return Err(format!("acked key `{key}` returned wrong bytes"));
+                }
+            }
+        }
+        Ok(())
+    };
+    let migration_complete = || -> Result<(), String> {
+        if coordinator.phase() != MigrationPhase::Done {
+            return Err(format!("migration stuck in phase {}", coordinator.phase()));
+        }
+        let owner = cluster.ring().owner_of(partition);
+        if owner != to {
+            return Err(format!(
+                "partition owned by node {} after flip, want node {}",
+                owner.0, to.0
+            ));
+        }
+        if cluster.migration_in_flight().is_some() {
+            return Err("migration routing state not torn down after cutover".into());
+        }
+        let snapshot = cluster.metrics().snapshot();
+        if snapshot.counter("migration.cutover_flips") != Some(1) {
+            return Err(format!(
+                "cutover flips {:?}, want exactly 1",
+                snapshot.counter("migration.cutover_flips")
+            ));
+        }
+        if snapshot.counter("migration.cutover_refusals") != Some(0) {
+            return Err(format!(
+                "{:?} cutover refusals under crash faults (lag misread as corruption)",
+                snapshot.counter("migration.cutover_refusals")
+            ));
+        }
+        Ok(())
+    };
+    let hints_drained = || -> Result<(), String> {
+        match cluster.pending_hints() {
+            0 => Ok(()),
+            n => Err(format!("{n} hints still pending after recovery")),
+        }
+    };
+    sched.check(
+        &[
+            ("quorum-durability", &durability),
+            ("migration-completes-once", &migration_complete),
+            ("hints-drained", &hints_drained),
+        ],
+        "cargo test --test chaos migration_vs_donor_crash",
+    )?;
+    Ok(sched.trace_text())
+}
+
+#[test]
+fn chaos_sweep_migration_vs_donor_crash() {
+    for seed in sweep_seeds(5) {
+        if let Err(failure) = run_migration_vs_donor_crash(seed) {
+            panic!("{failure}");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Scenario 7: cutover racing network partitions.
+// ---------------------------------------------------------------------
+
+/// Runs the same phased Voldemort migration under a network-only fault
+/// menu — symmetric group partitions and asymmetric link blocks — with
+/// the migration admin's virtual node enrolled in the fault domain. A
+/// partition that isolates the admin from either endpoint stalls the
+/// current phase (retryable), while client traffic — which rides
+/// client→replica links outside every partition group — keeps landing
+/// acked writes that the journal and dual-write must carry across the
+/// flip. Invariants: the flip happened exactly once (one topology-epoch
+/// bump, one `cutover_flips`), no refusals, every acked write survives,
+/// and the target holds every acked key it now owns.
+fn run_cutover_vs_network_partition(seed: u64) -> Result<String, ChaosFailure> {
+    let nodes: Vec<NodeId> = (0..5).map(NodeId).collect();
+    let ring = HashRing::balanced(16, &nodes).unwrap();
+    let partition = PartitionId(3);
+    let donor = ring.owner_of(partition);
+    let to = NodeId((donor.0 + 1) % 5);
+    let config = ChaosConfig {
+        crashes: false,
+        pauses: false,
+        partitions: true,
+        asym_links: true,
+        drops: false,
+        slow_links: false,
+        clock_skew: false,
+        ..ChaosConfig::default()
+    };
+    let mut domain = nodes.clone();
+    domain.push(li_voldemort::migrate::ADMIN_NODE);
+    let mut sched = ChaosScheduler::new(seed, domain, config);
+    let clock = sched.clock();
+    let cluster =
+        VoldemortCluster::with_parts(ring, sched.network(), Arc::new(clock.clone())).unwrap();
+    cluster
+        .add_store(StoreDef::read_write("s").with_quorum(3, 2, 2))
+        .unwrap();
+    let client = cluster.client("s").unwrap();
+
+    let mut acked: Vec<(String, Bytes, VectorClock)> = Vec::new();
+    for i in 0..24u32 {
+        let key = format!("k{i}");
+        let value = Bytes::from(format!("seed-{i}"));
+        let write_clock = client
+            .apply_update(key.as_bytes(), 5, &|_| Some(value.clone()))
+            .unwrap();
+        acked.push((key, value, write_clock));
+    }
+
+    let driver = cluster
+        .begin_partition_migration(partition, to)
+        .unwrap()
+        .expect("donor != target");
+    let epoch_before = cluster.topology_epoch();
+    let coordinator = MigrationCoordinator::new(
+        cluster.metrics(),
+        MigrationConfig {
+            verify_retries: 10_000,
+            ..MigrationConfig::default()
+        },
+    );
+    sched.note(format!(
+        "migrating p{} from node {} to node {}",
+        partition.0, donor.0, to.0
+    ));
+
+    let mut phase = coordinator.phase();
+    for i in 0..120u32 {
+        sched.step(&*cluster);
+        let key = format!("k{}", i % 24);
+        let value = Bytes::from(format!("v{i}"));
+        for _attempt in 0..6 {
+            match client.apply_update(key.as_bytes(), 5, &|_| Some(value.clone())) {
+                Ok(write_clock) => {
+                    acked.push((key.clone(), value.clone(), write_clock));
+                    break;
+                }
+                Err(_) => {
+                    clock.advance(Duration::from_secs(6));
+                    cluster.run_failure_probes();
+                    sched.step(&*cluster);
+                }
+            }
+        }
+        if coordinator.phase() != MigrationPhase::Done {
+            match coordinator.step(&driver) {
+                Ok(next) if next != phase => {
+                    phase = next;
+                    sched.note(format!("op {i}: migration phase -> {next}"));
+                }
+                Ok(_) => {}
+                // The admin is cut off from an endpoint; retried next op.
+                Err(_) => {}
+            }
+        }
+        if i % 30 == 0 {
+            sched.note(format!("op {i}: acked_total={} phase={phase}", acked.len()));
+        }
+    }
+
+    sched.quiesce(&*cluster);
+    for _ in 0..40 {
+        clock.advance(Duration::from_secs(6));
+        cluster.run_failure_probes();
+        cluster.deliver_hints();
+        if cluster.pending_hints() == 0 && cluster.detector().banned_nodes().is_empty() {
+            break;
+        }
+    }
+    if coordinator.phase() != MigrationPhase::Done {
+        if let Err(e) = coordinator.run(&driver, 10_000) {
+            sched.note(format!("migration did not complete after heal: {e}"));
+        }
+    }
+    sched.note(format!(
+        "drained: acked={} phase={} epoch {}->{}",
+        acked.len(),
+        coordinator.phase(),
+        epoch_before,
+        cluster.topology_epoch()
+    ));
+
+    let durability = || -> Result<(), String> {
+        for (key, value, write_clock) in &acked {
+            let siblings = client
+                .get(key.as_bytes())
+                .map_err(|e| format!("read of acked `{key}` failed: {e}"))?;
+            if siblings.is_empty() {
+                return Err(format!("acked key `{key}` unreadable (write lost)"));
+            }
+            if !siblings.iter().any(|v| v.clock.descends_from(write_clock)) {
+                return Err(format!(
+                    "acked write to `{key}` not covered by any surviving version"
+                ));
+            }
+            if let Some(v) = siblings.iter().find(|v| v.clock == *write_clock) {
+                if v.value != *value {
+                    return Err(format!("acked key `{key}` returned wrong bytes"));
+                }
+            }
+        }
+        Ok(())
+    };
+    let atomic_flip = || -> Result<(), String> {
+        if coordinator.phase() != MigrationPhase::Done {
+            return Err(format!("migration stuck in phase {}", coordinator.phase()));
+        }
+        if cluster.ring().owner_of(partition) != to {
+            return Err("ownership did not move to the target".into());
+        }
+        let epoch = cluster.topology_epoch();
+        if epoch != epoch_before + 1 {
+            return Err(format!(
+                "topology epoch bumped {} times for one flip",
+                epoch - epoch_before
+            ));
+        }
+        let snapshot = cluster.metrics().snapshot();
+        if snapshot.counter("migration.cutover_flips") != Some(1) {
+            return Err(format!(
+                "cutover flips {:?}, want exactly 1",
+                snapshot.counter("migration.cutover_flips")
+            ));
+        }
+        if snapshot.counter("migration.cutover_refusals") != Some(0) {
+            return Err(format!(
+                "{:?} refusals under network partitions (lag misread as corruption)",
+                snapshot.counter("migration.cutover_refusals")
+            ));
+        }
+        Ok(())
+    };
+    // Every acked key the target now serves must actually be on the
+    // target — an acked write either made it into the journal before the
+    // final drain or mirrored synchronously during dual-write.
+    let target_coverage = || -> Result<(), String> {
+        let ring = cluster.ring();
+        for (key, _, write_clock) in &acked {
+            let prefs = ring
+                .preference_list(key.as_bytes(), 3)
+                .map_err(|e| e.to_string())?;
+            if !prefs.contains(&to) {
+                continue;
+            }
+            let held = cluster
+                .node(to)
+                .map_err(|e| e.to_string())?
+                .get("s", key.as_bytes())
+                .map_err(|e| format!("target read of `{key}`: {e}"))?;
+            if !held.iter().any(|v| v.clock.descends_from(write_clock)) {
+                return Err(format!(
+                    "target now owns `{key}` but misses the acked write"
+                ));
+            }
+        }
+        Ok(())
+    };
+    sched.check(
+        &[
+            ("quorum-durability", &durability),
+            ("atomic-single-flip", &atomic_flip),
+            ("target-holds-moved-keys", &target_coverage),
+        ],
+        "cargo test --test chaos cutover_vs_partition",
+    )?;
+    Ok(sched.trace_text())
+}
+
+#[test]
+fn chaos_sweep_cutover_vs_network_partition() {
+    for seed in sweep_seeds(5) {
+        if let Err(failure) = run_cutover_vs_network_partition(seed) {
+            panic!("{failure}");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Scenario 8: Espresso resharding racing master failovers.
+// ---------------------------------------------------------------------
+
+/// Migrates one Espresso partition (snapshot + relay delta catch-up +
+/// Helix retarget flip) while the seeded scheduler crash-loops every
+/// node *except* the migration source, so master failovers of other
+/// partitions — and their Helix rebalances — race the migration's own
+/// rebalance through the shared controller, stored view, and relays.
+/// The source is excluded because a slave's applied windows do not
+/// re-enter its own binlog: a mid-move mastership flip of the moving
+/// partition would orphan the target's delta stream, which is exactly
+/// why production reshardings drain through the donor's relay. The flip
+/// itself waits for a fault-free moment (no flips during an active
+/// incident); every other phase retries through crashes. Invariants:
+/// acked documents readable with committed values, at most one master
+/// per partition, relay commit order intact, and the migration
+/// completed with one flip, zero refusals, and mastership on the
+/// target.
+fn run_espresso_rebalance_vs_failover(seed: u64) -> Result<String, ChaosFailure> {
+    let cluster = EspressoCluster::new(4).unwrap();
+    cluster.create_database(tiny_music(6, 2)).unwrap();
+    let view = cluster.controller().external_view("Music").unwrap();
+    let partition = PartitionId(0);
+    let source = view.master_of(partition).expect("fresh db has a master");
+    let hosts = view.partitions.get(&partition).cloned().unwrap_or_default();
+    let to = (0..4u16)
+        .map(NodeId)
+        .find(|n| !hosts.contains_key(n))
+        .expect("replication 2 on 4 nodes leaves a free node");
+    let domain: Vec<NodeId> = (0..4u16).map(NodeId).filter(|n| *n != source).collect();
+    let mut config = ChaosConfig::hooks_only();
+    config.max_down = 1;
+    let mut sched = ChaosScheduler::new(seed, domain, config);
+
+    let driver = cluster
+        .begin_partition_migration("Music", partition.0, to)
+        .unwrap();
+    let coordinator = MigrationCoordinator::new(
+        cluster.metrics(),
+        MigrationConfig {
+            verify_retries: 10_000,
+            ..MigrationConfig::default()
+        },
+    );
+    sched.note(format!(
+        "migrating Music/p{} from node {} to node {}",
+        partition.0, source.0, to.0
+    ));
+
+    let album = |year: i64| Record::new().with("year", Value::Long(year));
+    let mut acked: Vec<(RowKey, i64)> = Vec::new();
+    let mut phase = coordinator.phase();
+    for i in 0..120u64 {
+        sched.step(&*cluster);
+        let key = RowKey::new([format!("artist-{}", i % 7), format!("album-{i}")]);
+        let year = 1990 + i as i64;
+        match cluster.put("Music", "Album", key.clone(), &album(year)) {
+            Ok(_etag) => acked.push((key, year)),
+            Err(_) => sched.note(format!("put {i} rejected (no live master)")),
+        }
+        if i % 5 == 0 {
+            let _ = cluster.pump_replication();
+        }
+        let flip_ready = coordinator.phase() != MigrationPhase::DualWrite
+            || sched.crashed_nodes().is_empty();
+        if coordinator.phase() != MigrationPhase::Done && flip_ready {
+            match coordinator.step(&driver) {
+                Ok(next) if next != phase => {
+                    phase = next;
+                    sched.note(format!("op {i}: migration phase -> {next}"));
+                }
+                Ok(_) => {}
+                Err(_) => {}
+            }
+        }
+        if i % 30 == 0 {
+            sched.note(format!("op {i}: acked_total={} phase={phase}", acked.len()));
+        }
+    }
+
+    sched.quiesce(&*cluster);
+    for _ in 0..4 {
+        let _ = cluster.pump_replication();
+    }
+    if coordinator.phase() != MigrationPhase::Done {
+        if let Err(e) = coordinator.run(&driver, 10_000) {
+            sched.note(format!("migration did not complete after heal: {e}"));
+        }
+    }
+    for _ in 0..4 {
+        let _ = cluster.pump_replication();
+    }
+    sched.note(format!(
+        "drained: acked={} phase={}",
+        acked.len(),
+        coordinator.phase()
+    ));
+
+    let readable = || -> Result<(), String> {
+        for (key, year) in &acked {
+            let got = cluster
+                .get("Music", "Album", key)
+                .map_err(|e| format!("read of acked {key:?} failed: {e}"))?;
+            let Some((record, _row)) = got else {
+                return Err(format!("acked document {key:?} lost"));
+            };
+            if record.get("year") != Some(&Value::Long(*year)) {
+                return Err(format!("acked document {key:?} has wrong value"));
+            }
+        }
+        Ok(())
+    };
+    let single_master = || -> Result<(), String> {
+        let view = cluster
+            .controller()
+            .external_view("Music")
+            .map_err(|e| format!("no external view: {e}"))?;
+        for p in 0..6 {
+            let masters: Vec<NodeId> = view
+                .partitions
+                .get(&PartitionId(p))
+                .map(|states| {
+                    states
+                        .iter()
+                        .filter(|(_, &s)| s == li_helix::ReplicaState::Master)
+                        .map(|(&n, _)| n)
+                        .collect()
+                })
+                .unwrap_or_default();
+            if masters.len() > 1 {
+                return Err(format!("partition {p} has multiple masters {masters:?}"));
+            }
+        }
+        Ok(())
+    };
+    let commit_order = || -> Result<(), String> {
+        for i in 0..4u16 {
+            cluster
+                .relay(NodeId(i))
+                .map_err(|e| format!("relay {i}: {e}"))?
+                .verify_commit_order()
+                .map_err(|e| format!("relay {i}: {e}"))?;
+        }
+        Ok(())
+    };
+    let migration_complete = || -> Result<(), String> {
+        if coordinator.phase() != MigrationPhase::Done {
+            return Err(format!("migration stuck in phase {}", coordinator.phase()));
+        }
+        let view = cluster
+            .controller()
+            .external_view("Music")
+            .map_err(|e| e.to_string())?;
+        if view.master_of(partition) != Some(to) {
+            return Err(format!(
+                "Music/p{} mastered by {:?} after flip, want node {}",
+                partition.0,
+                view.master_of(partition),
+                to.0
+            ));
+        }
+        let snapshot = cluster.metrics().snapshot();
+        if snapshot.counter("migration.cutover_flips") != Some(1) {
+            return Err(format!(
+                "cutover flips {:?}, want exactly 1",
+                snapshot.counter("migration.cutover_flips")
+            ));
+        }
+        if snapshot.counter("migration.cutover_refusals") != Some(0) {
+            return Err(format!(
+                "{:?} refusals while failovers raced the move",
+                snapshot.counter("migration.cutover_refusals")
+            ));
+        }
+        Ok(())
+    };
+    sched.check(
+        &[
+            ("acked-docs-readable", &readable),
+            ("single-master-per-partition", &single_master),
+            ("relay-commit-order", &commit_order),
+            ("migration-completes-once", &migration_complete),
+        ],
+        "cargo test --test chaos espresso_rebalance",
+    )?;
+    Ok(sched.trace_text())
+}
+
+#[test]
+fn chaos_sweep_espresso_rebalance_vs_failover() {
+    for seed in sweep_seeds(5) {
+        if let Err(failure) = run_espresso_rebalance_vs_failover(seed) {
+            panic!("{failure}");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
 // The determinism contract, asserted.
 // ---------------------------------------------------------------------
 
@@ -1246,6 +1866,15 @@ fn same_seed_yields_byte_identical_traces() {
     let a = run_site_closed_loop(11).unwrap_or_else(|f| panic!("{f}"));
     let b = run_site_closed_loop(11).unwrap_or_else(|f| panic!("{f}"));
     assert_eq!(a, b, "site closed-loop trace diverged");
+    let a = run_migration_vs_donor_crash(11).unwrap_or_else(|f| panic!("{f}"));
+    let b = run_migration_vs_donor_crash(11).unwrap_or_else(|f| panic!("{f}"));
+    assert_eq!(a, b, "migration-vs-donor-crash trace diverged");
+    let a = run_cutover_vs_network_partition(11).unwrap_or_else(|f| panic!("{f}"));
+    let b = run_cutover_vs_network_partition(11).unwrap_or_else(|f| panic!("{f}"));
+    assert_eq!(a, b, "cutover-vs-partition trace diverged");
+    let a = run_espresso_rebalance_vs_failover(11).unwrap_or_else(|f| panic!("{f}"));
+    let b = run_espresso_rebalance_vs_failover(11).unwrap_or_else(|f| panic!("{f}"));
+    assert_eq!(a, b, "espresso-rebalance trace diverged");
 }
 
 /// A deliberately planted invariant violation is caught, reported with

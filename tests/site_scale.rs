@@ -92,6 +92,43 @@ fn same_seed_reproduces_metrics_snapshot_byte_identically() {
     }
 }
 
+/// The same smoke profile with an online resharding mid-load: two
+/// Voldemort partitions and one Espresso profile partition migrate off
+/// node 0 while the closed-loop drivers hammer every tier. Every existing
+/// SLO/conservation gate must stay green, no op may fail (reads are never
+/// blocked, acked writes are never lost), and the run must report exactly
+/// the expected cutover flips with zero shadow-verification refusals.
+///
+/// Same-seed fingerprint equality is deliberately *not* asserted here:
+/// with a migration racing live writes, per-node put totals depend on
+/// which side of the cutover each write lands, so those counters leave
+/// the conservation subset for migration runs (see `conservation_subset`).
+#[test]
+fn site_smoke_with_migration_in_flight_clears_all_gates() {
+    let mut config = smoke_config();
+    config.migrate_partitions = 2;
+    let bench = SiteBench::prepare(config).unwrap();
+    let report = bench.run().unwrap();
+    assert!(
+        report.all_gates_pass(),
+        "SLO gate failures with migration in flight:\n{}",
+        report.summary()
+    );
+    assert_eq!(
+        report.ops_acked, report.ops_attempted,
+        "an acked-op was lost or refused during migration"
+    );
+    // Two Voldemort moves plus one Espresso profile move (three Espresso
+    // nodes at replication two always leave a free target node).
+    assert_eq!(report.snapshot.counter("migration.cutover_flips"), Some(3));
+    assert_eq!(report.snapshot.counter("migration.cutover_refusals"), Some(0));
+    // The shadow comparator actually exercised the dual-write window.
+    assert!(
+        report.snapshot.counter("migration.shadow_reads").unwrap_or(0) > 0,
+        "shadow-read verification never ran"
+    );
+}
+
 /// A different seed must actually change the run (guards against the
 /// fingerprint accidentally capturing only constants).
 #[test]
