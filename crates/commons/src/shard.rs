@@ -39,6 +39,7 @@ pub enum ShardMode {
 /// all stripes, never before.
 pub struct ShardedLock<S> {
     stripes: Vec<Mutex<S>>,
+    mode: ShardMode,
 }
 
 impl<S: std::fmt::Debug> std::fmt::Debug for ShardedLock<S> {
@@ -54,21 +55,33 @@ impl<S> ShardedLock<S> {
     pub fn new(stripes: usize, init: impl Fn() -> S) -> Self {
         ShardedLock {
             stripes: (0..stripes.max(1)).map(|_| Mutex::new(init())).collect(),
+            mode: ShardMode::Parallel,
         }
     }
 
     /// [`Self::new`], but [`ShardMode::Deterministic`] collapses to one
     /// stripe regardless of `stripes`.
     pub fn with_mode(mode: ShardMode, stripes: usize, init: impl Fn() -> S) -> Self {
-        match mode {
+        let mut lock = match mode {
             ShardMode::Deterministic => Self::new(1, init),
             ShardMode::Parallel => Self::new(stripes, init),
-        }
+        };
+        lock.mode = mode;
+        lock
     }
 
     /// Number of stripes.
     pub fn stripe_count(&self) -> usize {
         self.stripes.len()
+    }
+
+    /// The mode this lock was built with. Structures layering their own
+    /// concurrency on top of the stripes (e.g. the Kafka ingest queues,
+    /// which collapse drainer hand-off to inline execution in
+    /// [`ShardMode::Deterministic`]) read this instead of threading the
+    /// mode through a second channel.
+    pub fn mode(&self) -> ShardMode {
+        self.mode
     }
 
     /// The stripe a key hashes to. Stable for the lifetime of the value
@@ -144,6 +157,16 @@ mod tests {
         assert_eq!(sharded.stripe_count(), 1);
         let sharded: ShardedLock<u32> = ShardedLock::with_mode(ShardMode::Parallel, 64, || 0);
         assert_eq!(sharded.stripe_count(), 64);
+    }
+
+    #[test]
+    fn mode_accessor_reports_construction_mode() {
+        let det: ShardedLock<u32> = ShardedLock::with_mode(ShardMode::Deterministic, 64, || 0);
+        assert_eq!(det.mode(), ShardMode::Deterministic);
+        let par: ShardedLock<u32> = ShardedLock::with_mode(ShardMode::Parallel, 64, || 0);
+        assert_eq!(par.mode(), ShardMode::Parallel);
+        let plain: ShardedLock<u32> = ShardedLock::new(4, || 0);
+        assert_eq!(plain.mode(), ShardMode::Parallel);
     }
 
     #[test]

@@ -60,6 +60,7 @@ pub mod broker;
 pub mod cluster;
 pub mod consumer;
 pub mod group;
+pub mod ingest;
 pub mod log;
 pub mod message;
 pub mod mirror;
@@ -71,6 +72,7 @@ pub use broker::Broker;
 pub use cluster::KafkaCluster;
 pub use consumer::{MessageStream, SimpleConsumer};
 pub use group::GroupConsumer;
+pub use ingest::{AckMode, ProduceReceipt};
 pub use message::{FetchChunk, KafkaError, Message, MessageSet};
 pub use producer::{Partitioner, Producer};
 pub use replication::ReplicatedCluster;

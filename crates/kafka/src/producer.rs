@@ -15,6 +15,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use crate::cluster::KafkaCluster;
+use crate::ingest::AckMode;
 use crate::message::{KafkaError, MessageSet};
 
 /// How the producer picks a partition.
@@ -28,6 +29,8 @@ pub enum Partitioner {
 }
 
 /// Cumulative producer statistics (the compression benchmark reads these).
+/// Recorded once per flushed batch, not per send — read them after
+/// [`Producer::flush`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ProducerStats {
     /// Application payload bytes accepted.
@@ -71,6 +74,7 @@ pub struct Producer {
     cluster: Arc<KafkaCluster>,
     partitioner: Partitioner,
     codec: Codec,
+    ack: AckMode,
     batch_messages: usize,
     buffers: Mutex<HashMap<(String, u32), Batch>>,
     round_robin: Mutex<HashMap<String, u32>>,
@@ -87,6 +91,7 @@ impl Producer {
             cluster,
             partitioner: Partitioner::RoundRobin,
             codec: Codec::None,
+            ack: AckMode::default(),
             batch_messages: 1,
             buffers: Mutex::new(HashMap::new()),
             round_robin: Mutex::new(HashMap::new()),
@@ -116,6 +121,16 @@ impl Producer {
         self
     }
 
+    /// Builder: durability level each flushed batch waits for (default
+    /// [`AckMode::Leader`], the legacy produce contract). On an
+    /// unreplicated cluster [`AckMode::FullIsr`] degenerates to `Leader`;
+    /// the full contract lives in `ReplicatedCluster::produce_with_ack`.
+    #[must_use]
+    pub fn with_ack_mode(mut self, ack: AckMode) -> Self {
+        self.ack = ack;
+        self
+    }
+
     /// Cumulative statistics.
     pub fn stats(&self) -> ProducerStats {
         *self.stats.lock()
@@ -123,9 +138,12 @@ impl Producer {
 
     fn pick_partition(&self, topic: &str, key: Option<&[u8]>) -> Result<u32, KafkaError> {
         let n = self.cluster.num_partitions(topic)?;
-        Ok(match (self.partitioner, key) {
-            (Partitioner::Keyed, Some(key)) => (fnv1a(key) % u64::from(n)) as u32,
-            _ => {
+        // A keyed send never touches the round-robin state: the hash alone
+        // decides placement, so concurrent keyed producers don't serialize
+        // on (or perturb) the shared round-robin counters.
+        Ok(match key {
+            Some(key) => (fnv1a(key) % u64::from(n)) as u32,
+            None => {
                 let mut rr = self.round_robin.lock();
                 let counter = rr.entry(topic.to_string()).or_insert(0);
                 let partition = *counter % n;
@@ -158,6 +176,9 @@ impl Producer {
     ) -> Result<(), KafkaError> {
         let partition = self.pick_partition(topic, key)?;
         let payload_len = payload.len();
+        // No stats lock here: message/byte counts ride the batch and are
+        // folded into `stats` once per flush, so the per-send cost is the
+        // buffer lock alone.
         let flush_now = {
             let mut buffers = self.buffers.lock();
             let batch = buffers.entry((topic.to_string(), partition)).or_default();
@@ -165,13 +186,6 @@ impl Producer {
             batch.payloads.push(payload);
             batch.payloads.len() >= self.batch_messages
         };
-        // Stats are recorded with the buffer lock already released — the
-        // two mutexes are never held nested.
-        {
-            let mut stats = self.stats.lock();
-            stats.messages += 1;
-            stats.payload_bytes += payload_len as u64;
-        }
         if flush_now {
             self.flush_partition(topic, partition)?;
         }
@@ -186,31 +200,46 @@ impl Producer {
                 _ => return Ok(()),
             }
         };
-        self.metrics.batch_messages.record(batch.payloads.len() as u64);
+        let messages = batch.payloads.len() as u64;
+        let payload_bytes = batch.bytes as u64;
+        self.metrics.batch_messages.record(messages);
         let set = MessageSet::from_payloads(batch.payloads);
         let broker = self.cluster.broker_for(topic, partition)?;
         let wire_bytes = match self.codec {
             Codec::None => {
-                // Encode once; the same buffer is both the wire-byte
-                // accounting and the bytes the broker appends.
+                // Encode once; the frame buffer is both the wire-byte
+                // accounting and the bytes handed to the group-commit queue.
                 let frames = set.encode();
-                broker.produce_frames(
+                let wire = frames.len();
+                broker.produce_frames_grouped(
                     topic,
                     partition,
-                    &frames,
+                    frames,
                     set.messages.len() as u64,
                     set.payload_bytes(),
+                    self.ack,
                 )?;
-                frames.len()
+                wire
             }
             Codec::Lz => {
                 let wrapper = set.compressed();
                 let bytes = wrapper.framed_len();
-                broker.produce_message(topic, partition, &wrapper)?;
+                let mut frames = Vec::with_capacity(bytes);
+                wrapper.encode(&mut frames);
+                broker.produce_frames_grouped(
+                    topic,
+                    partition,
+                    frames,
+                    1,
+                    wrapper.payload.len(),
+                    self.ack,
+                )?;
                 bytes
             }
         };
         let mut stats = self.stats.lock();
+        stats.messages += messages;
+        stats.payload_bytes += payload_bytes;
         stats.wire_bytes += wire_bytes as u64;
         stats.requests += 1;
         self.metrics.wire_bytes.add(wire_bytes as u64);
@@ -218,11 +247,18 @@ impl Producer {
         Ok(())
     }
 
-    /// Flushes every buffered batch.
+    /// Flushes every buffered batch. With [`AckMode::None`] the producer
+    /// additionally drains the brokers' ingest queues so flush-on-close
+    /// makes even unacknowledged sends pull-visible.
     pub fn flush(&self) -> Result<(), KafkaError> {
         let keys: Vec<(String, u32)> = self.buffers.lock().keys().cloned().collect();
         for (topic, partition) in keys {
             self.flush_partition(&topic, partition)?;
+        }
+        if self.ack == AckMode::None {
+            for broker in self.cluster.brokers() {
+                broker.flush_ingest();
+            }
         }
         Ok(())
     }
@@ -285,6 +321,84 @@ mod tests {
             .collect();
         assert_eq!(counts.iter().sum::<usize>(), 20);
         assert_eq!(counts.iter().filter(|&&c| c > 0).count(), 1, "{counts:?}");
+    }
+
+    #[test]
+    fn keyed_send_is_sticky_even_on_a_round_robin_producer() {
+        // The key alone decides placement — a keyed send on the default
+        // (round-robin) producer hashes and never perturbs the round-robin
+        // counter used by unkeyed sends.
+        let cluster = cluster();
+        let producer = Producer::new(cluster.clone());
+        for i in 0..12 {
+            producer
+                .send_keyed("events", b"member-42", format!("k{i}"))
+                .unwrap();
+        }
+        // Interleaved unkeyed sends still spread evenly: the keyed sends
+        // above left the round-robin cursor untouched.
+        for i in 0..8 {
+            producer.send("events", format!("u{i}")).unwrap();
+        }
+        producer.flush().unwrap();
+        let counts: Vec<usize> = (0..4)
+            .map(|p| {
+                SimpleConsumer::new(cluster.clone(), "events", p)
+                    .unwrap()
+                    .poll()
+                    .unwrap()
+                    .len()
+            })
+            .collect();
+        assert_eq!(counts.iter().sum::<usize>(), 20);
+        // Every partition got exactly 2 unkeyed messages; one partition
+        // additionally holds all 12 keyed ones.
+        let mut sorted = counts.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![2, 2, 2, 14], "{counts:?}");
+    }
+
+    #[test]
+    fn stats_are_recorded_per_flush_not_per_send() {
+        let cluster = cluster();
+        let producer = Producer::new(cluster.clone())
+            .with_batch_size(10)
+            .with_partitioner(Partitioner::Keyed);
+        for i in 0..7 {
+            producer.send_keyed("events", b"k", format!("m{i}")).unwrap();
+        }
+        // Nothing flushed yet: the batch holds the counts.
+        assert_eq!(producer.stats(), ProducerStats::default());
+        producer.flush().unwrap();
+        let stats = producer.stats();
+        assert_eq!(stats.messages, 7);
+        assert_eq!(stats.requests, 1);
+        assert_eq!(stats.payload_bytes, 7 * 2);
+    }
+
+    #[test]
+    fn none_ack_sends_become_visible_after_flush() {
+        let cluster = cluster();
+        let producer = Producer::new(cluster.clone())
+            .with_ack_mode(AckMode::None)
+            .with_batch_size(4)
+            .with_partitioner(Partitioner::Keyed);
+        for i in 0..16 {
+            producer.send_keyed("events", b"fire", format!("f{i}")).unwrap();
+        }
+        producer.flush().unwrap();
+        assert_eq!(drain_all(&cluster, "events").len(), 16);
+    }
+
+    #[test]
+    fn full_isr_ack_round_trips_on_unreplicated_cluster() {
+        let cluster = cluster();
+        let producer = Producer::new(cluster.clone()).with_ack_mode(AckMode::FullIsr);
+        for i in 0..10 {
+            producer.send("events", format!("d{i}")).unwrap();
+        }
+        producer.flush().unwrap();
+        assert_eq!(drain_all(&cluster, "events").len(), 10);
     }
 
     #[test]

@@ -9,9 +9,15 @@
 //!   log, byte-for-byte, so logical offsets are identical on every replica;
 //! * the **high watermark** is the offset up to which every in-sync
 //!   replica has the data — consumers only ever see committed messages;
-//! * on leader failure, the live follower with the **longest log** is
-//!   elected leader (it is a superset of every committed message), and the
-//!   uncommitted tail beyond the high watermark is naturally invisible;
+//! * the cluster tracks each partition's **ISR** (in-sync replica set):
+//!   a replica is dropped from it when it crashes and re-admitted only
+//!   once it has caught back up to the leader's visible end;
+//! * on leader failure, the live **ISR** follower with the longest log is
+//!   elected leader (it is a superset of every committed message) — an
+//!   out-of-sync replica is never elected (no unclean leader election),
+//!   so a partition with no eligible replica goes offline until one
+//!   returns, and `AckMode::FullIsr` acknowledgements survive any crash
+//!   sequence the single-failure budget allows;
 //! * a recovered broker whose log diverged (it led writes that were never
 //!   committed) is reset and re-replicated from the new leader.
 
@@ -19,8 +25,15 @@ use parking_lot::RwLock;
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
+use li_commons::shard::ShardedLock;
+
 use crate::cluster::KafkaCluster;
+use crate::ingest::{AckMode, GroupFrames, GroupQueue, IngestSink, ProduceReceipt};
 use crate::message::{KafkaError, Message, MessageSet};
+
+/// Ingest-queue index stripes in `ShardMode::Parallel` (mirrors the
+/// broker's partition-index striping).
+const QUEUE_STRIPES: usize = 16;
 
 #[derive(Debug, Clone)]
 struct PartitionReplicas {
@@ -33,15 +46,29 @@ pub struct ReplicatedCluster {
     cluster: Arc<KafkaCluster>,
     assignments: RwLock<HashMap<(String, u32), PartitionReplicas>>,
     down: RwLock<HashSet<u16>>,
+    /// Per-partition in-sync replica set. A broker leaves on crash and
+    /// rejoins only after catching up to the leader's visible end; leader
+    /// elections are restricted to this set.
+    isr: RwLock<HashMap<(String, u32), HashSet<u16>>>,
+    /// Cluster-level group-commit queues, one per replicated partition.
+    /// They live here rather than on a broker because the queue must
+    /// survive a leader failover: producers keep enqueueing against the
+    /// partition while the sink resolves whoever currently leads it.
+    queues: ShardedLock<HashMap<(String, u32), Arc<GroupQueue>>>,
 }
 
 impl ReplicatedCluster {
-    /// Wraps a cluster.
+    /// Wraps a cluster. The ingest queues inherit the cluster's shard
+    /// mode, so a `ShardMode::Deterministic` cluster gets fully
+    /// serialized, one-group-per-append produce sequencing here too.
     pub fn new(cluster: Arc<KafkaCluster>) -> Self {
+        let mode = cluster.shard_mode();
         ReplicatedCluster {
             cluster,
             assignments: RwLock::new(HashMap::new()),
             down: RwLock::new(HashSet::new()),
+            isr: RwLock::new(HashMap::new()),
+            queues: ShardedLock::with_mode(mode, QUEUE_STRIPES, HashMap::new),
         }
     }
 
@@ -75,8 +102,27 @@ impl ReplicatedCluster {
                     followers: replicas[1..].to_vec(),
                 },
             );
+            // All replicas start empty, hence in sync.
+            self.isr
+                .write()
+                .insert((topic.to_string(), p), replicas.iter().copied().collect());
+            self.queues.lock(&(topic, p)).insert(
+                (topic.to_string(), p),
+                Arc::new(GroupQueue::new(
+                    self.cluster.shard_mode(),
+                    self.cluster.log_config().ingest_queue_bytes,
+                )),
+            );
         }
         Ok(())
+    }
+
+    fn queue(&self, topic: &str, partition: u32) -> Result<Arc<GroupQueue>, KafkaError> {
+        self.queues
+            .lock(&(topic, partition))
+            .get(&(topic.to_string(), partition))
+            .cloned()
+            .ok_or_else(|| KafkaError::UnknownTopicPartition(topic.to_string(), partition))
     }
 
     fn assignment(&self, topic: &str, partition: u32) -> Result<PartitionReplicas, KafkaError> {
@@ -90,6 +136,21 @@ impl ReplicatedCluster {
     /// The current leader broker id of a partition.
     pub fn leader_of(&self, topic: &str, partition: u32) -> Result<u16, KafkaError> {
         Ok(self.assignment(topic, partition)?.leader)
+    }
+
+    /// The partition's current in-sync replica set, sorted. Crashed
+    /// brokers leave it immediately; recovered brokers rejoin only after
+    /// catching up to the leader's visible end.
+    pub fn isr_of(&self, topic: &str, partition: u32) -> Result<Vec<u16>, KafkaError> {
+        let isr = self
+            .isr
+            .read()
+            .get(&(topic.to_string(), partition))
+            .cloned()
+            .ok_or_else(|| KafkaError::UnknownTopicPartition(topic.to_string(), partition))?;
+        let mut isr: Vec<u16> = isr.into_iter().collect();
+        isr.sort_unstable();
+        Ok(isr)
     }
 
     /// Produces to the partition's leader. Fails when the leader is down
@@ -110,6 +171,62 @@ impl ReplicatedCluster {
         self.cluster.brokers()[assignment.leader as usize].produce(topic, partition, set)
     }
 
+    /// Group-commit produce with an explicit durability contract. The set
+    /// is encoded once, outside every lock, then enqueued into the
+    /// partition's cluster-level [`GroupQueue`]: concurrent producers
+    /// share one leader-log lock acquisition and (for
+    /// [`AckMode::FullIsr`]) one replication ship per drained batch.
+    ///
+    /// * [`AckMode::None`] — returns without waiting; no offset.
+    /// * [`AckMode::Leader`] — returns after the leader's local append,
+    ///   exactly the [`ReplicatedCluster::produce`] contract.
+    /// * [`AckMode::FullIsr`] — returns only after every live replica
+    ///   holds the bytes; the message is committed (at or below the high
+    ///   watermark) the moment the call returns, with no
+    ///   [`ReplicatedCluster::replicate`] pump needed.
+    pub fn produce_with_ack(
+        &self,
+        topic: &str,
+        partition: u32,
+        set: &MessageSet,
+        ack: AckMode,
+    ) -> Result<ProduceReceipt, KafkaError> {
+        let frames = set.encode();
+        let queue = self.queue(topic, partition)?;
+        let sink = ReplicaSink {
+            rc: self,
+            topic,
+            partition,
+        };
+        queue.produce(
+            &sink,
+            frames,
+            set.messages.len() as u64,
+            set.payload_bytes() as u64,
+            ack,
+        )
+    }
+
+    /// Drains every partition's group-commit queue (flush-on-close for
+    /// [`AckMode::None`] producers; the chaos harness calls this at
+    /// quiesce).
+    pub fn flush_ingest(&self) {
+        let queues: Vec<((String, u32), Arc<GroupQueue>)> = self
+            .queues
+            .lock_all()
+            .iter()
+            .flat_map(|stripe| stripe.iter().map(|(k, q)| (k.clone(), q.clone())))
+            .collect();
+        for ((topic, partition), queue) in &queues {
+            let sink = ReplicaSink {
+                rc: self,
+                topic,
+                partition: *partition,
+            };
+            queue.drain_with(&sink);
+        }
+    }
+
     /// One replication pump: every live follower pulls the bytes it is
     /// missing from its leader's log. Returns messages copied.
     pub fn replicate(&self) -> Result<usize, KafkaError> {
@@ -120,38 +237,86 @@ impl ReplicatedCluster {
             .map(|(k, v)| (k.clone(), v.clone()))
             .collect();
         let down = self.down.read().clone();
-        let brokers = self.cluster.brokers();
         let mut copied = 0;
         for ((topic, partition), replicas) in assignments {
             if down.contains(&replicas.leader) {
                 continue;
             }
-            let leader_log = brokers[replicas.leader as usize].log(&topic, partition)?;
-            for &f in &replicas.followers {
-                if down.contains(&f) {
-                    continue;
-                }
-                let mut follower_log = brokers[f as usize].log(&topic, partition)?;
-                let mut from = follower_log.log_end();
-                if from > leader_log.log_end() {
-                    // Divergent follower (was a leader with an uncommitted
-                    // tail): reset and re-replicate from scratch.
-                    brokers[f as usize].reset_partition(&topic, partition);
-                    follower_log = brokers[f as usize].log(&topic, partition)?;
-                    from = 0;
-                }
-                // Pull the leader's stored bytes verbatim: appending the
-                // frame-aligned chunks untouched keeps logical offsets
-                // identical on every replica without decoding a single
-                // message.
-                let (chunks, _) = leader_log.read_chunks(from, usize::MAX)?;
-                for chunk in &chunks {
-                    follower_log.append_frames(&chunk.data)?;
-                    copied += chunk.messages as usize;
-                }
-            }
+            copied += self.catch_up(&topic, partition, &replicas, &down)?;
         }
         Ok(copied)
+    }
+
+    /// Pulls every live follower of one partition up to its leader's
+    /// visible end — the per-partition body of
+    /// [`ReplicatedCluster::replicate`], also invoked by the FullIsr ship.
+    /// Returns messages copied.
+    fn catch_up(
+        &self,
+        topic: &str,
+        partition: u32,
+        replicas: &PartitionReplicas,
+        down: &HashSet<u16>,
+    ) -> Result<usize, KafkaError> {
+        let brokers = self.cluster.brokers();
+        let leader_log = brokers[replicas.leader as usize].log(topic, partition)?;
+        let target = leader_log.visible_end();
+        let mut copied = 0;
+        let mut synced: Vec<u16> = vec![replicas.leader];
+        for &f in &replicas.followers {
+            if down.contains(&f) {
+                continue;
+            }
+            let mut follower_log = brokers[f as usize].log(topic, partition)?;
+            let mut from = follower_log.log_end();
+            if from > leader_log.log_end() {
+                // Divergent follower (was a leader with an uncommitted
+                // tail): reset and re-replicate from scratch.
+                brokers[f as usize].reset_partition(topic, partition);
+                follower_log = brokers[f as usize].log(topic, partition)?;
+                from = 0;
+            }
+            // Pull the leader's stored bytes verbatim: appending the
+            // frame-aligned chunks untouched keeps logical offsets
+            // identical on every replica without decoding a single
+            // message.
+            let (chunks, _) = leader_log.read_chunks(from, usize::MAX)?;
+            for chunk in &chunks {
+                follower_log.append_frames(&chunk.data)?;
+                copied += chunk.messages as usize;
+            }
+            if follower_log.log_end() >= target {
+                synced.push(f);
+            }
+        }
+        // Replicas that reached the leader's visible end (re)join the ISR
+        // — the only gate through which a recovered broker becomes
+        // electable again.
+        if let Some(isr) = self.isr.write().get_mut(&(topic.to_string(), partition)) {
+            isr.extend(synced);
+        }
+        Ok(copied)
+    }
+
+    /// The FullIsr ship: flushes the partition's current leader log (every
+    /// appended byte becomes pull-visible) and catches every live follower
+    /// up to it. The in-sync replica set is "live replicas right now" —
+    /// with the chaos harness's single-failure budget and replication
+    /// factor 3 that always leaves a surviving copy for failover.
+    fn ship_partition(&self, topic: &str, partition: u32) -> Result<(), KafkaError> {
+        let assignment = self.assignment(topic, partition)?;
+        let down = self.down.read().clone();
+        if down.contains(&assignment.leader) {
+            return Err(KafkaError::Group(format!(
+                "leader {} down for {topic}/{partition}",
+                assignment.leader
+            )));
+        }
+        self.cluster.brokers()[assignment.leader as usize]
+            .log(topic, partition)?
+            .flush();
+        self.catch_up(topic, partition, &assignment, &down)?;
+        Ok(())
     }
 
     /// The high watermark: the largest offset replicated to *every* live
@@ -203,23 +368,31 @@ impl ReplicatedCluster {
         Ok((committed, next))
     }
 
-    /// Fails a broker: partitions it led elect the live replica with the
-    /// longest log as new leader.
+    /// Fails a broker: it leaves every partition's ISR, and partitions it
+    /// led elect the live **in-sync** replica with the longest log as new
+    /// leader. A stale (restarted, not yet caught-up) replica is never
+    /// elected — no unclean leader election — so a partition with no
+    /// eligible replica goes offline until one returns, preserving every
+    /// `FullIsr`-acknowledged byte.
     pub fn fail_broker(&self, broker: u16) -> Result<Vec<(String, u32, u16)>, KafkaError> {
         self.down.write().insert(broker);
         let brokers = self.cluster.brokers();
         let down = self.down.read().clone();
         let mut elections = Vec::new();
         let mut assignments = self.assignments.write();
+        let mut isr_map = self.isr.write();
         for ((topic, partition), replicas) in assignments.iter_mut() {
+            let key = (topic.clone(), *partition);
+            let isr = isr_map.entry(key).or_default();
+            isr.remove(&broker);
             if replicas.leader != broker {
                 continue;
             }
-            // Longest-log election among live replicas.
+            // Longest-log election among live ISR members.
             let candidate = replicas
                 .followers
                 .iter()
-                .filter(|b| !down.contains(b))
+                .filter(|b| !down.contains(b) && isr.contains(b))
                 .max_by_key(|&&b| {
                     brokers[b as usize]
                         .log(topic, *partition)
@@ -228,7 +401,7 @@ impl ReplicatedCluster {
                 })
                 .copied();
             let Some(new_leader) = candidate else {
-                continue; // partition offline until a replica returns
+                continue; // partition offline until an ISR replica returns
             };
             replicas.followers.retain(|&b| b != new_leader);
             replicas.followers.push(replicas.leader);
@@ -309,6 +482,39 @@ impl ReplicatedCluster {
             }
         }
         Ok(())
+    }
+}
+
+/// [`IngestSink`] over one replicated partition: a drained batch appends
+/// to whoever *currently* leads the partition (one lock acquisition via
+/// the leader broker's group append), and a FullIsr ship pushes the
+/// leader's bytes to every live follower once per batch. A downed leader
+/// fails the whole batch — every waiting producer sees the error, exactly
+/// like the legacy [`ReplicatedCluster::produce`].
+struct ReplicaSink<'a> {
+    rc: &'a ReplicatedCluster,
+    topic: &'a str,
+    partition: u32,
+}
+
+impl IngestSink for ReplicaSink<'_> {
+    fn append_groups(&self, groups: &[GroupFrames<'_>]) -> Result<u64, KafkaError> {
+        let assignment = self.rc.assignment(self.topic, self.partition)?;
+        if self.rc.down.read().contains(&assignment.leader) {
+            return Err(KafkaError::Group(format!(
+                "leader {} down for {}/{}",
+                assignment.leader, self.topic, self.partition
+            )));
+        }
+        self.rc.cluster.brokers()[assignment.leader as usize].append_groups_local(
+            self.topic,
+            self.partition,
+            groups,
+        )
+    }
+
+    fn ship(&self) -> Result<(), KafkaError> {
+        self.rc.ship_partition(self.topic, self.partition)
     }
 }
 
@@ -449,6 +655,57 @@ mod tests {
     }
 
     #[test]
+    fn stale_recovered_replica_is_never_elected_leader() {
+        // Found by the ack-durability chaos scenario: crash a follower,
+        // FullIsr-produce while it is down, restart it (stale), then
+        // crash the leader before the stale replica catches up. Electing
+        // by longest *live* log alone would hand leadership to a replica
+        // missing FullIsr-acked bytes, whose new appends then overwrite
+        // them. The ISR gate must keep the partition offline instead.
+        let (_c, rc) = replicated();
+        assert_eq!(rc.isr_of("t", 0).unwrap(), vec![0, 1, 2]);
+        rc.produce_with_ack("t", 0, &MessageSet::from_payloads(["m1"]), AckMode::FullIsr)
+            .unwrap();
+
+        let leader = rc.leader_of("t", 0).unwrap();
+        let follower = rc.isr_of("t", 0).unwrap().into_iter().find(|&b| b != leader).unwrap();
+        rc.fail_broker(follower).unwrap();
+        assert!(!rc.isr_of("t", 0).unwrap().contains(&follower));
+        // Acked by the two live ISR replicas while `follower` is down.
+        rc.produce_with_ack("t", 0, &MessageSet::from_payloads(["m2"]), AckMode::FullIsr)
+            .unwrap();
+        // The follower restarts stale: live again, but not in sync —
+        // re-admission happens only through a catch-up, which we withhold.
+        rc.recover_broker(follower);
+        assert!(!rc.isr_of("t", 0).unwrap().contains(&follower));
+
+        // Leader dies; the only other ISR member takes over.
+        rc.fail_broker(leader).unwrap();
+        let second = rc.leader_of("t", 0).unwrap();
+        assert_ne!(second, leader);
+        assert_ne!(second, follower, "stale replica must not win the election");
+        // And when the second leader dies too, the stale replica still
+        // must not be elected: the partition goes offline instead.
+        rc.fail_broker(second).unwrap();
+        assert_eq!(rc.leader_of("t", 0).unwrap(), second, "leadership frozen");
+        assert!(rc
+            .produce_with_ack("t", 0, &MessageSet::from_payloads(["m3"]), AckMode::Leader)
+            .is_err());
+
+        // An ISR member returning brings the partition back with every
+        // FullIsr-acked byte intact, and catch-up re-admits the laggard.
+        rc.recover_broker(second);
+        for _ in 0..4 {
+            if rc.replicate().unwrap() == 0 {
+                break;
+            }
+        }
+        assert_eq!(payloads(&rc, 0), vec!["m1", "m2"]);
+        assert!(rc.isr_of("t", 0).unwrap().contains(&follower));
+        rc.verify_replica_identity("t", 0).unwrap();
+    }
+
+    #[test]
     fn high_watermark_monotonic_through_churn() {
         let (_c, rc) = replicated();
         let mut last_hw = 0;
@@ -461,6 +718,73 @@ mod tests {
         }
         // 10 committed messages, all visible, none duplicated.
         assert_eq!(payloads(&rc, 0).len(), 10);
+    }
+
+    #[test]
+    fn full_isr_ack_is_committed_without_a_replicate_pump() {
+        let (_c, rc) = replicated();
+        let receipt = rc
+            .produce_with_ack("t", 0, &MessageSet::from_payloads(["durable"]), AckMode::FullIsr)
+            .unwrap();
+        assert_eq!(receipt.base_offset, Some(0));
+        // Committed the moment the call returns: the high watermark covers
+        // it and a committed fetch serves it — no replicate() ran.
+        assert!(rc.high_watermark("t", 0).unwrap() > 0);
+        assert_eq!(payloads(&rc, 0), vec!["durable"]);
+        rc.verify_replica_identity("t", 0).unwrap();
+    }
+
+    #[test]
+    fn leader_ack_leaves_followers_behind_until_replicated() {
+        let (_c, rc) = replicated();
+        let receipt = rc
+            .produce_with_ack("t", 0, &MessageSet::from_payloads(["fast"]), AckMode::Leader)
+            .unwrap();
+        assert_eq!(receipt.base_offset, Some(0));
+        assert_eq!(rc.high_watermark("t", 0).unwrap(), 0, "not shipped");
+        rc.replicate().unwrap();
+        assert_eq!(payloads(&rc, 0), vec!["fast"]);
+    }
+
+    #[test]
+    fn full_isr_acked_message_survives_leader_crash() {
+        let (_c, rc) = replicated();
+        rc.produce_with_ack("t", 0, &MessageSet::from_payloads(["must-survive"]), AckMode::FullIsr)
+            .unwrap();
+        // Leader-acked tail that never ships...
+        rc.produce_with_ack("t", 0, &MessageSet::from_payloads(["may-die"]), AckMode::Leader)
+            .unwrap();
+        let leader = rc.leader_of("t", 0).unwrap();
+        rc.fail_broker(leader).unwrap();
+        // ...the FullIsr message is still served after failover; the
+        // unshipped Leader-acked tail is the (bounded) loss.
+        assert_eq!(payloads(&rc, 0), vec!["must-survive"]);
+    }
+
+    #[test]
+    fn none_ack_returns_no_offset_and_flush_ingest_is_idle_safe() {
+        let (_c, rc) = replicated();
+        let receipt = rc
+            .produce_with_ack("t", 0, &MessageSet::from_payloads(["ff"]), AckMode::None)
+            .unwrap();
+        assert_eq!(receipt.base_offset, None);
+        rc.flush_ingest();
+        rc.replicate().unwrap();
+        assert_eq!(payloads(&rc, 0), vec!["ff"]);
+    }
+
+    #[test]
+    fn produce_with_ack_to_fully_downed_partition_errors() {
+        let (_c, rc) = replicated();
+        for _ in 0..3 {
+            let l = rc.leader_of("t", 0).unwrap();
+            rc.fail_broker(l).unwrap();
+        }
+        for ack in [AckMode::Leader, AckMode::FullIsr] {
+            assert!(rc
+                .produce_with_ack("t", 0, &MessageSet::from_payloads(["x"]), ack)
+                .is_err());
+        }
     }
 
     #[test]

@@ -24,7 +24,14 @@ RELAY_PROPTEST_CASES=64 cargo test -q --test databus_relay_props
 echo "== site graph proptests: 64 cases (default is 32) =="
 SITE_GRAPH_PROPTEST_CASES=64 cargo test -q --test site_graph_props
 
-echo "== chaos sweep: 20 seeds x 9 scenarios (10 min budget) =="
+echo "== kafka ingest proptests: 64 cases (default is 24) =="
+# Group-commit equivalence: grouped produce must be byte-identical to
+# the legacy per-request path (same fingerprints, same offsets) in both
+# shard modes, and concurrent grouped producers must lose nothing and
+# keep per-thread FIFO order.
+KAFKA_INGEST_PROPTEST_CASES=64 cargo test -q --test kafka_ingest_props
+
+echo "== chaos sweep: 20 seeds x 10 scenarios (10 min budget) =="
 # Wider seed sweep than the per-test default of 5. Deterministic — only
 # the tail-fanout scenario sleeps (it replays simulated link latencies
 # in real time so completion order follows the network model) — so the

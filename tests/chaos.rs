@@ -21,9 +21,15 @@ use li_commons::clock::VectorClock;
 use li_commons::migrate::{MigrationConfig, MigrationCoordinator, MigrationPhase};
 use li_commons::ring::{HashRing, NodeId, PartitionId};
 use li_commons::schema::{Field, FieldType, Record, RecordSchema, Value};
+use li_commons::metrics::MetricsRegistry;
+use li_commons::shard::ShardMode;
+use li_commons::sim::SimClock;
 use li_espresso::{DatabaseSchema, EspressoCluster, TableSchema};
+use li_kafka::log::LogConfig;
 use li_kafka::mirror::MirrorMaker;
-use li_kafka::{KafkaCluster, MessageSet, ReplicatedCluster};
+use li_kafka::{AckMode, KafkaCluster, MessageSet, ReplicatedCluster};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
 use li_sqlstore::{Database, RowKey};
 use li_databus::{DatabusClient, LogShippingAdapter, Relay};
 use li_voldemort::{FanOutMode, QuorumConfig, ReadFanOut, StoreDef, VoldemortCluster};
@@ -675,6 +681,218 @@ fn run_kafka_replication_and_mirror(seed: u64) -> Result<String, ChaosFailure> {
 fn chaos_sweep_kafka_replication_and_mirror() {
     for seed in sweep_seeds(5) {
         if let Err(failure) = run_kafka_replication_and_mirror(seed) {
+            panic!("{failure}");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Scenario 3b: Kafka ack-mode durability under leader crashes.
+// ---------------------------------------------------------------------
+
+const ACK_PARTITIONS: u32 = 2;
+
+/// Crash hooks that snapshot, at the instant a *leader* broker dies, the
+/// partition's high watermark and the current op index — exactly the
+/// data needed to bound Leader-ack loss to the unshipped tail. The
+/// snapshot is taken before `fail_broker` runs the election, so it
+/// reflects what the dying leader had actually committed.
+struct AckCrashHooks<'a> {
+    rc: &'a ReplicatedCluster,
+    op: &'a AtomicU64,
+    /// (partition, op index at crash, high watermark at crash).
+    crashes: Mutex<Vec<(u32, u64, u64)>>,
+}
+
+impl li_commons::chaos::FaultHooks for AckCrashHooks<'_> {
+    fn crash(&self, node: NodeId) {
+        for p in 0..ACK_PARTITIONS {
+            if self.rc.leader_of("events", p) == Ok(node.0) {
+                if let Ok(hw) = self.rc.high_watermark("events", p) {
+                    self.crashes
+                        .lock()
+                        .push((p, self.op.load(Ordering::SeqCst), hw));
+                }
+            }
+        }
+        let _ = self.rc.fail_broker(node.0);
+    }
+
+    fn restart(&self, node: NodeId) {
+        self.rc.recover_broker(node.0);
+    }
+}
+
+/// Drives a 3-broker replicated cluster (RF=3, `ShardMode::Deterministic`
+/// — the grouped ingest path's chaos twin) through leader fail/recover
+/// cycles while producing under all three ack modes via the group-commit
+/// queue. Invariants at quiesce:
+///
+/// * **full-isr-durability** — every `FullIsr`-acked message survives
+///   failover byte-identically at its acked offset.
+/// * **leader-ack-loss-bounded** — a `Leader`-acked message may only be
+///   lost (or overwritten by a divergent successor) if some leader crash
+///   *after* its ack caught it above that crash's high watermark — the
+///   unshipped tail. Nothing below any crash's watermark may vanish.
+/// * replica byte-identity and CRC-walk contiguity, as everywhere else.
+fn run_kafka_ack_durability(seed: u64) -> Result<String, ChaosFailure> {
+    let nodes: Vec<NodeId> = (0..3).map(NodeId).collect();
+    let mut config = ChaosConfig::hooks_only();
+    config.max_down = 1;
+    let mut sched = ChaosScheduler::new(seed, nodes, config);
+    let live = KafkaCluster::with_shard_mode(
+        3,
+        LogConfig::default(),
+        Arc::new(SimClock::new()),
+        &MetricsRegistry::new(),
+        ShardMode::Deterministic,
+    )
+    .unwrap();
+    let replicated = ReplicatedCluster::new(live.clone());
+    replicated.create_topic("events", ACK_PARTITIONS, 3).unwrap();
+    let op = AtomicU64::new(0);
+    let hooks = AckCrashHooks {
+        rc: &replicated,
+        op: &op,
+        crashes: Mutex::new(Vec::new()),
+    };
+
+    // (partition, acked offset, payload, op index of the ack).
+    let mut full_isr_acked: Vec<(u32, u64, Bytes, u64)> = Vec::new();
+    let mut leader_acked: Vec<(u32, u64, Bytes, u64)> = Vec::new();
+    let mut none_sent = 0u64;
+    let mut rejected = 0u64;
+    let acks = [AckMode::Leader, AckMode::FullIsr, AckMode::None];
+    for i in 0..150u64 {
+        op.store(i, Ordering::SeqCst);
+        sched.step(&hooks);
+        let partition = (i % u64::from(ACK_PARTITIONS)) as u32;
+        let payload = Bytes::from(format!("m{i}"));
+        let set = MessageSet::from_payloads([payload.clone()]);
+        let ack = acks[(i % 3) as usize];
+        match replicated.produce_with_ack("events", partition, &set, ack) {
+            Ok(receipt) => match ack {
+                AckMode::FullIsr => {
+                    full_isr_acked.push((partition, receipt.base_offset.unwrap(), payload, i));
+                }
+                AckMode::Leader => {
+                    leader_acked.push((partition, receipt.base_offset.unwrap(), payload, i));
+                }
+                AckMode::None => none_sent += 1,
+            },
+            Err(_) => rejected += 1,
+        }
+        if i % 5 == 0 {
+            let _ = replicated.replicate();
+        }
+        if i % 30 == 0 {
+            sched.note(format!(
+                "op {i}: full_isr={} leader={} none={} rejected={}",
+                full_isr_acked.len(),
+                leader_acked.len(),
+                none_sent,
+                rejected
+            ));
+        }
+    }
+
+    sched.quiesce(&hooks);
+    replicated.flush_ingest();
+    for _ in 0..10 {
+        if replicated.replicate().unwrap() == 0 {
+            break;
+        }
+    }
+    let crashes = hooks.crashes.into_inner();
+    sched.note(format!(
+        "drained: full_isr={} leader={} crashes={crashes:?}",
+        full_isr_acked.len(),
+        leader_acked.len()
+    ));
+
+    // Committed state per partition after full recovery.
+    let committed: Vec<Vec<(u64, Bytes)>> = (0..ACK_PARTITIONS)
+        .map(|p| {
+            let (messages, _) = replicated.fetch_committed("events", p, 0, usize::MAX).unwrap();
+            messages.into_iter().map(|(o, m)| (o, m.payload)).collect()
+        })
+        .collect();
+
+    let full_isr_durability = || -> Result<(), String> {
+        for (p, offset, payload, op_i) in &full_isr_acked {
+            match committed[*p as usize].iter().find(|(o, _)| o == offset) {
+                Some((_, got)) if got == payload => {}
+                Some(_) => {
+                    return Err(format!(
+                        "events/{p} offset {offset} (op {op_i}): FullIsr-acked bytes changed"
+                    ))
+                }
+                None => {
+                    return Err(format!(
+                        "events/{p} offset {offset} (op {op_i}): FullIsr-acked message lost"
+                    ))
+                }
+            }
+        }
+        Ok(())
+    };
+    let leader_loss_bounded = || -> Result<(), String> {
+        for (p, offset, payload, op_i) in &leader_acked {
+            let survived = matches!(
+                committed[*p as usize].iter().find(|(o, _)| o == offset),
+                Some((_, got)) if got == payload
+            );
+            if survived {
+                continue;
+            }
+            // Loss is legitimate only above the watermark of a leader
+            // crash that happened strictly after the ack.
+            let excused = crashes
+                .iter()
+                .any(|(cp, cop, hw)| cp == p && cop > op_i && offset >= hw);
+            if !excused {
+                return Err(format!(
+                    "events/{p} offset {offset} (op {op_i}): Leader-acked message lost \
+                     below every subsequent crash watermark (crashes: {crashes:?})"
+                ));
+            }
+        }
+        Ok(())
+    };
+    let replica_identity = || -> Result<(), String> {
+        for p in 0..ACK_PARTITIONS {
+            replicated.verify_replica_identity("events", p)?;
+        }
+        Ok(())
+    };
+    let contiguity = || -> Result<(), String> {
+        for broker in 0..3usize {
+            for p in 0..ACK_PARTITIONS {
+                live.brokers()[broker]
+                    .log("events", p)
+                    .map_err(|e| format!("broker {broker} events/{p}: {e}"))?
+                    .verify_contiguity()
+                    .map_err(|e| format!("broker {broker} events/{p}: {e}"))?;
+            }
+        }
+        Ok(())
+    };
+    sched.check(
+        &[
+            ("full-isr-durability", &full_isr_durability),
+            ("leader-ack-loss-bounded", &leader_loss_bounded),
+            ("replica-byte-identity", &replica_identity),
+            ("log-contiguity", &contiguity),
+        ],
+        "cargo test --test chaos kafka_ack",
+    )?;
+    Ok(sched.trace_text())
+}
+
+#[test]
+fn chaos_sweep_kafka_ack_durability() {
+    for seed in sweep_seeds(5) {
+        if let Err(failure) = run_kafka_ack_durability(seed) {
             panic!("{failure}");
         }
     }
@@ -1860,6 +2078,9 @@ fn same_seed_yields_byte_identical_traces() {
     let a = run_kafka_replication_and_mirror(11).unwrap_or_else(|f| panic!("{f}"));
     let b = run_kafka_replication_and_mirror(11).unwrap_or_else(|f| panic!("{f}"));
     assert_eq!(a, b, "kafka trace diverged");
+    let a = run_kafka_ack_durability(11).unwrap_or_else(|f| panic!("{f}"));
+    let b = run_kafka_ack_durability(11).unwrap_or_else(|f| panic!("{f}"));
+    assert_eq!(a, b, "kafka ack-durability trace diverged");
     let a = run_sqlstore_replication(11).unwrap_or_else(|f| panic!("{f}"));
     let b = run_sqlstore_replication(11).unwrap_or_else(|f| panic!("{f}"));
     assert_eq!(a, b, "sqlstore trace diverged");
