@@ -1,5 +1,5 @@
 //! Experiment C-24 (DESIGN.md / EXPERIMENTS.md): site-scale closed-loop
-//! throughput/latency knee under SLO gates.
+//! throughput/latency knee under SLO gates, now at site scale.
 //!
 //! The paper's systems are specified tier by tier, but the site runs them
 //! *together*: profile reads against Espresso, PYMK against Voldemort
@@ -7,9 +7,17 @@
 //! Follow caches, activity events through Kafka into the warehouse. This
 //! bench drives that whole assembly with the closed-loop member
 //! population of `li_workload::site` (Zipfian follower counts, power-law
-//! write skew) and sweeps the driver count at a fixed population to find
-//! the throughput/latency knee — the offered load past which adding
-//! drivers buys little throughput while tier p99s inflate.
+//! write skew) and records two sweeps:
+//!
+//! * **driver sweep** — fixed population, driver count swept far past the
+//!   old thread-per-driver ceiling (hundreds of logical drivers
+//!   multiplexed onto 8 scheduler workers by the M:N scheduler) to find
+//!   the throughput/latency knee;
+//! * **population sweep** — fixed load, population swept from 2K members
+//!   toward a million, each point seeded by the *streaming* prepare
+//!   (generator thread pipelined against the tier loader) with the
+//!   generate/load wall split recorded — `generate + load > wall` is the
+//!   direct evidence the two phases overlapped.
 //!
 //! Every load point re-runs the full SLO gate set of `site_bench`
 //! (per-tier p99, Databus/Kafka lag drained to zero, cross-tier write
@@ -20,7 +28,8 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use li_workload::SiteGraph;
 use linkedin_data_infra::{
-    PlatformConfig, ShardMode, SiteBench, SiteBenchConfig, SiteBenchReport, SloThresholds,
+    PlatformConfig, PrepareStats, ShardMode, SiteBench, SiteBenchConfig, SiteBenchReport,
+    SloThresholds,
 };
 use std::hint::black_box;
 use std::sync::Arc;
@@ -32,7 +41,16 @@ const MEMBERS: u64 = 2000;
 // comparable across points and each point long enough to measure.
 const OPS_TOTAL: usize = 12800;
 const SEED: u64 = 42;
-const DRIVER_SWEEP: [usize; 6] = [1, 2, 4, 8, 16, 32];
+// Past 32 the old harness would have needed an OS thread per driver; the
+// M:N scheduler runs every point on SCHED_WORKERS pool threads.
+const DRIVER_SWEEP: [usize; 9] = [1, 2, 4, 8, 16, 32, 64, 128, 512];
+const SCHED_WORKERS: usize = 8;
+
+// Population sweep: fixed offered load, member count swept toward the
+// paper's site scale. Every point is seeded by the streaming prepare.
+// `SITE_BENCH_MAX_MEMBERS` caps the sweep for quick local runs.
+const POPULATION_SWEEP: [u64; 4] = [2_000, 20_000, 100_000, 1_000_000];
+const POPULATION_DRIVERS: usize = 128;
 
 /// The sweep's serving budgets — far tighter than the CI smoke budgets:
 /// reads must stay in single-digit milliseconds at p99 and the primary's
@@ -58,16 +76,22 @@ fn platform_shape(mode: ShardMode) -> PlatformConfig {
     }
 }
 
-fn point_config(drivers: usize, ops_per_driver: usize, mode: ShardMode) -> SiteBenchConfig {
-    let mut config = SiteBenchConfig::smoke(MEMBERS, drivers, ops_per_driver, SEED);
+fn point_config(
+    members: u64,
+    drivers: usize,
+    ops_per_driver: usize,
+    mode: ShardMode,
+) -> SiteBenchConfig {
+    let mut config = SiteBenchConfig::smoke(members, drivers, ops_per_driver, SEED);
     config.platform = platform_shape(mode);
     config.slo = sweep_slo();
+    config.workers = SCHED_WORKERS;
     config
 }
 
 fn run_point(graph: &Arc<SiteGraph>, drivers: usize, mode: ShardMode) -> SiteBenchReport {
     let bench = SiteBench::prepare_with_graph(
-        point_config(drivers, OPS_TOTAL / drivers, mode),
+        point_config(MEMBERS, drivers, OPS_TOTAL / drivers, mode),
         graph.clone(),
     )
     .expect("prepare load point");
@@ -82,20 +106,27 @@ fn p99_ms(report: &SiteBenchReport, tier: &str) -> f64 {
         .unwrap_or(0.0)
 }
 
+fn secs(d: Duration) -> f64 {
+    d.as_secs_f64()
+}
+
 /// Drivers at which the sharded runtime is compared against its
 /// serialized (single-stripe, `ShardMode::Deterministic`) twin: the same
 /// concurrency offered to a platform that takes one global stripe per
 /// tier, i.e. the pre-sharding serving runtime.
 const BASELINE_DRIVERS: usize = 8;
 
-fn sweep() {
+fn sweep_drivers() -> String {
     // One population for every point: the knee must come from load, not
     // from a different graph shape per point.
     let graph = Arc::new(SiteGraph::generate(
-        &point_config(1, OPS_TOTAL, ShardMode::Parallel).graph,
+        &point_config(MEMBERS, 1, OPS_TOTAL, ShardMode::Parallel).graph,
     ));
 
-    println!("\n=== C-24: site closed-loop knee (population {MEMBERS}, {OPS_TOTAL} ops/point) ===");
+    println!(
+        "\n=== C-24a: driver knee (population {MEMBERS}, {OPS_TOTAL} ops/point, \
+         {SCHED_WORKERS} scheduler workers) ==="
+    );
     println!(
         "{:>8} {:>10} {:>12} {:>12} {:>12} {:>12} {:>12} {:>8}",
         "drivers",
@@ -144,9 +175,10 @@ fn sweep() {
     println!("knee: {knee} drivers (highest-throughput SLO-clean point)");
 
     // Serialized baseline: the deterministic twin (every striped lock
-    // collapsed to one stripe) offered the same concurrency. This is the
-    // pre-sharding runtime — the speedup of the sharded platform at the
-    // same driver count is the figure of merit.
+    // collapsed to one stripe, scheduler collapsed to the serial twin)
+    // offered the same concurrency. This is the pre-sharding runtime —
+    // the speedup of the sharded platform at the same driver count is
+    // the figure of merit.
     let baseline = run_point(&graph, BASELINE_DRIVERS, ShardMode::Deterministic);
     let sharded_at_baseline = points
         .iter()
@@ -167,7 +199,6 @@ fn sweep() {
         baseline.throughput_ops_per_sec
     );
 
-    // Cores-vs-throughput scaling across the sweep's lower points.
     let throughput_at = |drivers: usize| {
         points
             .iter()
@@ -183,7 +214,6 @@ fn sweep() {
         throughput_at(8)
     );
 
-    // Machine-readable snapshot (recorded into BENCH_site_scale.json).
     let results: Vec<String> = points
         .iter()
         .map(|(drivers, report, slo_ok)| {
@@ -202,9 +232,9 @@ fn sweep() {
             )
         })
         .collect();
-    println!(
-        "JSON: {{ \"members\": {MEMBERS}, \"ops_total\": {OPS_TOTAL}, \"seed\": {SEED}, \
-         \"knee_drivers\": {knee}, \
+    format!(
+        "\"driver_sweep\": {{ \"members\": {MEMBERS}, \"ops_total\": {OPS_TOTAL}, \"seed\": {SEED}, \
+         \"scheduler_workers\": {SCHED_WORKERS}, \"knee_drivers\": {knee}, \
          \"serialized_baseline\": {{ \"mode\": \"deterministic\", \"drivers\": {BASELINE_DRIVERS}, \
          \"throughput_ops_per_sec\": {:.1}, \"follow_write_p99_ms\": {:.3}, \"slo_ok\": {} }}, \
          \"speedup_vs_serialized\": {speedup:.2}, \"scaling_1_to_8\": {scaling_1_to_8:.2}, \
@@ -213,19 +243,115 @@ fn sweep() {
         p99_ms(&baseline, "follow_write"),
         baseline.all_gates_pass(),
         results.join(", ")
+    )
+}
+
+fn prepare_json(stats: &PrepareStats) -> String {
+    let overlap = secs(stats.generate_wall) + secs(stats.load_wall) - secs(stats.wall);
+    format!(
+        "{{ \"wall_s\": {:.3}, \"generate_wall_s\": {:.3}, \"load_wall_s\": {:.3}, \
+         \"overlap_s\": {:.3}, \"chunks\": {}, \"chunk_members\": {}, \"overlapped\": {} }}",
+        secs(stats.wall),
+        secs(stats.generate_wall),
+        secs(stats.load_wall),
+        overlap,
+        stats.chunks,
+        stats.chunk_members,
+        stats.overlapped
+    )
+}
+
+fn sweep_population() -> String {
+    let max_members: u64 = std::env::var("SITE_BENCH_MAX_MEMBERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(u64::MAX);
+    println!(
+        "\n=== C-24b: population sweep ({POPULATION_DRIVERS} drivers on {SCHED_WORKERS} workers, \
+         {OPS_TOTAL} ops/point, streaming prepare) ==="
     );
+    println!(
+        "{:>10} {:>11} {:>11} {:>11} {:>11} {:>12} {:>12} {:>8}",
+        "members", "prepare", "generate", "load", "overlap", "ops/s", "profile p99", "slo_ok"
+    );
+    let mut results = Vec::new();
+    for members in POPULATION_SWEEP {
+        if members > max_members {
+            println!("{members:>10} skipped (SITE_BENCH_MAX_MEMBERS={max_members})");
+            continue;
+        }
+        let mut config = point_config(
+            members,
+            POPULATION_DRIVERS,
+            OPS_TOTAL / POPULATION_DRIVERS,
+            ShardMode::Parallel,
+        );
+        // Population points gate on conservation and drain, not the
+        // driver sweep's single-digit-ms knee budgets: one core serving
+        // 128 concurrent closed-loop drivers runs tens-of-ms write p99s
+        // at 10^5+ members (company inverted lists grow with the
+        // population), and that latency is the honest reading. The smoke
+        // budgets still trip on pathological serialization.
+        config.slo = SloThresholds::smoke();
+        let bench = SiteBench::prepare(config).expect("streaming prepare");
+        let stats = bench.prepare_stats();
+        // Progress marker between the phases: a stalled point is then
+        // attributable to prepare vs run from the log alone.
+        println!(
+            "{members:>10} prepared in {:.2}s ({} chunks), running...",
+            secs(stats.wall),
+            stats.chunks
+        );
+        let report = bench.run().expect("run population point");
+        let slo_ok = report.all_gates_pass();
+        let overlap = secs(stats.generate_wall) + secs(stats.load_wall) - secs(stats.wall);
+        println!(
+            "{:>10} {:>10.2}s {:>10.2}s {:>10.2}s {:>10.2}s {:>12.0} {:>9.3}ms {:>8}",
+            members,
+            secs(stats.wall),
+            secs(stats.generate_wall),
+            secs(stats.load_wall),
+            overlap,
+            report.throughput_ops_per_sec,
+            p99_ms(&report, "profile_read"),
+            slo_ok
+        );
+        if !slo_ok {
+            for failure in report.gate_failures() {
+                println!("         gate {}: {}", failure.name, failure.detail);
+            }
+        }
+        results.push(format!(
+            "{{ \"members\": {members}, \"prepare\": {}, \"run_wall_s\": {:.3}, \
+             \"ops_acked\": {}, \"throughput_ops_per_sec\": {:.1}, \
+             \"profile_read_p99_ms\": {:.3}, \"pymk_read_p99_ms\": {:.3}, \
+             \"follow_write_p99_ms\": {:.3}, \"activity_p99_ms\": {:.3}, \"slo_ok\": {slo_ok} }}",
+            prepare_json(&stats),
+            secs(report.load_wall),
+            report.ops_acked,
+            report.throughput_ops_per_sec,
+            p99_ms(&report, "profile_read"),
+            p99_ms(&report, "pymk_read"),
+            p99_ms(&report, "follow_write"),
+            p99_ms(&report, "activity"),
+        ));
+    }
+    format!(
+        "\"population_sweep\": {{ \"drivers\": {POPULATION_DRIVERS}, \
+         \"scheduler_workers\": {SCHED_WORKERS}, \"ops_total\": {OPS_TOTAL}, \"seed\": {SEED}, \
+         \"results\": [{}] }}",
+        results.join(", ")
+    )
 }
 
 fn bench_site_scale(c: &mut Criterion) {
-    sweep();
+    let driver_json = sweep_drivers();
+    let population_json = sweep_population();
+    println!("JSON: {{ {driver_json}, {population_json} }}");
 
     // Standard criterion report: one small end-to-end closed-loop run
     // (prepare + drive + gate evaluation) as a regression canary.
-    let config = {
-        let mut config = SiteBenchConfig::smoke(400, 2, 100, SEED);
-        config.platform = platform_shape(ShardMode::Parallel);
-        config
-    };
+    let config = point_config(400, 2, 100, ShardMode::Parallel);
     let graph = Arc::new(SiteGraph::generate(&config.graph));
     let mut group = c.benchmark_group("site_scale");
     group.sample_size(10);

@@ -81,6 +81,13 @@ impl std::fmt::Debug for FanOutPool {
 impl FanOutPool {
     /// Creates a pool with `workers` threads (clamped to at least 1).
     pub fn new(workers: usize) -> Self {
+        Self::named("fanout", workers)
+    }
+
+    /// [`Self::new`] with a thread-name prefix, so distinct pools (quorum
+    /// fan-out vs driver scheduling) are tellable apart in a debugger or
+    /// `/proc/<pid>/task`.
+    pub fn named(prefix: &str, workers: usize) -> Self {
         let shared = Arc::new(PoolShared {
             state: Mutex::new(PoolState::default()),
             cv: Condvar::new(),
@@ -90,7 +97,7 @@ impl FanOutPool {
             .map(|i| {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
-                    .name(format!("fanout-{i}"))
+                    .name(format!("{prefix}-{i}"))
                     .spawn(move || Self::worker_loop(&shared))
                     .expect("spawn fan-out worker")
             })

@@ -22,11 +22,12 @@
 
 pub mod consumers;
 pub mod platform;
+pub mod sched;
 pub mod site_bench;
 
 pub use li_commons::shard::ShardMode;
 pub use platform::{DataPlatform, PlatformConfig};
-pub use site_bench::{SiteBench, SiteBenchConfig, SiteBenchReport, SloThresholds};
+pub use site_bench::{PrepareStats, SiteBench, SiteBenchConfig, SiteBenchReport, SloThresholds};
 
 // The four systems, one roof.
 pub use li_commons as commons;

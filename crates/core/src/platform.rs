@@ -2,7 +2,7 @@
 //! activity events → Kafka → online consumers + offline warehouse.
 
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 use li_commons::metrics::{MetricsRegistry, MetricsSnapshot};
@@ -187,6 +187,12 @@ impl DataPlatform {
         let relay = Arc::new(Relay::with_metrics("primary", 32 << 20, &metrics));
         LogShippingAdapter::attach_with_backlog(&primary, relay.clone(), 0).map_err(wrap)?;
         let bootstrap = Arc::new(BootstrapServer::new());
+        // Pin the relay buffer until the bootstrap's log writer has linked
+        // each window (the floor advances with every catch-up): a window
+        // evicted before it reaches log storage is lost from the whole
+        // system, and any consumer checkpointed below it livelocks on a
+        // consolidated delta that can never reach the buffered range.
+        relay.set_eviction_floor(0);
 
         // Voldemort cache stores for Company Follow (§II.C).
         let voldemort_nodes_ids: Vec<NodeId> = (0..voldemort_nodes).map(NodeId).collect();
@@ -277,6 +283,13 @@ impl DataPlatform {
         )
         .map_err(wrap)?;
         espresso.create_database(profile_schema).map_err(wrap)?;
+        // Multi-key profile requests fan out across storage-node
+        // sub-batches when the platform runs sharded; the Deterministic
+        // twin keeps them inline and replayable.
+        espresso.set_fan_out_mode(match shard_mode {
+            ShardMode::Parallel => li_commons::exec::FanOutMode::Parallel,
+            ShardMode::Deterministic => li_commons::exec::FanOutMode::Deterministic,
+        });
 
         Ok(DataPlatform {
             primary,
@@ -397,6 +410,55 @@ impl DataPlatform {
         }))
     }
 
+    /// Serving read path for many members' profile texts in one request:
+    /// the Espresso router groups the keys by partition master against
+    /// its watch-cached assignment and fans the per-node sub-batches out
+    /// (parallel when the platform runs sharded). A PYMK page renders
+    /// its recommendation cards through this — one routed request, not
+    /// one per card. Results come back in `members` order.
+    pub fn profiles(&self, members: &[u64]) -> Result<Vec<Option<String>>, PlatformError> {
+        let keys = members.iter().map(|m| member_row_key(*m)).collect();
+        let docs = self
+            .espresso
+            .multi_get(PROFILE_DB, PROFILE_TABLE, keys)
+            .map_err(wrap)?;
+        Ok(docs
+            .into_iter()
+            .map(|doc| {
+                doc.and_then(|(record, _row)| match record.get("text") {
+                    Some(Value::Str(text)) => Some(text.clone()),
+                    _ => None,
+                })
+            })
+            .collect())
+    }
+
+    /// Batched write path for the population loader: lands one chunk of
+    /// profile documents in Espresso through the router's multi-key
+    /// fan-out (grouped per master node). The loader dual-writes the
+    /// legacy primary rows itself, strictly per member, so the primary's
+    /// commit stream depends only on member order — never on how callers
+    /// chunk (router request accounting is per-document for the same
+    /// reason).
+    pub fn seed_profile_documents(
+        &self,
+        profiles: &[(u64, String)],
+    ) -> Result<(), PlatformError> {
+        let documents = profiles
+            .iter()
+            .map(|(member, text)| {
+                (
+                    member_row_key(*member),
+                    Record::new().with("text", Value::Str(text.clone())),
+                )
+            })
+            .collect();
+        self.espresso
+            .multi_put(PROFILE_DB, PROFILE_TABLE, documents)
+            .map_err(wrap)?;
+        Ok(())
+    }
+
     /// Loads (or refreshes) the PYMK read-only store from an offline
     /// "Hadoop job run": build → pull (data before index) → atomic swap,
     /// exactly the Figure II.3 cycle. `records` are `(key, value)` pairs
@@ -500,10 +562,16 @@ impl DataPlatform {
     /// these continuously; examples and tests call it at interesting
     /// moments (determinism over threads).
     pub fn pump(&self) -> Result<(), PlatformError> {
-        self.follow_cacher.catch_up().map_err(wrap)?;
-        self.search_client.catch_up().map_err(wrap)?;
+        // Bootstrap first: it is the fallen-behind escape hatch for every
+        // subscriber, and it reads the relay directly (no drive lock). If
+        // it ran after the subscriber catch-ups, a subscriber evicted off
+        // the relay would cycle stale consolidated deltas while holding
+        // the drive lock — and the pump, parked on that same lock, could
+        // never advance the bootstrap to break the cycle.
         self.bootstrap.catch_up_from(&self.relay).map_err(wrap)?;
         self.bootstrap.apply_log();
+        self.follow_cacher.catch_up().map_err(wrap)?;
+        self.search_client.catch_up().map_err(wrap)?;
         self.espresso.pump_replication().map_err(wrap)?;
         self.event_producer.publish_audit_and_flush().map_err(wrap)?;
         self.mirror.pump().map_err(wrap)?;
@@ -517,13 +585,31 @@ impl DataPlatform {
     /// this — the audit producer buckets by wall-clock window, which would
     /// make a seeded run's metrics timing-dependent.
     pub fn pump_streams(&self) -> Result<(), PlatformError> {
-        self.follow_cacher.catch_up().map_err(wrap)?;
-        self.search_client.catch_up().map_err(wrap)?;
+        let trace = std::env::var_os("LI_PUMP_TRACE").is_some();
+        let mut stage_start = Instant::now();
+        let mut stage = |name: &str| {
+            let took = stage_start.elapsed();
+            stage_start = Instant::now();
+            if trace && took > Duration::from_secs(1) {
+                eprintln!("[pump] {name} took {took:.2?}");
+            }
+        };
+        // Bootstrap first — see [`Self::pump`] for why this ordering is
+        // load-bearing (fallen-behind livelock under relay eviction).
         self.bootstrap.catch_up_from(&self.relay).map_err(wrap)?;
+        stage("bootstrap.catch_up_from");
         self.bootstrap.apply_log();
+        stage("bootstrap.apply_log");
+        self.follow_cacher.catch_up().map_err(wrap)?;
+        stage("follow_cacher.catch_up");
+        self.search_client.catch_up().map_err(wrap)?;
+        stage("search_client.catch_up");
         self.espresso.pump_replication().map_err(wrap)?;
+        stage("espresso.pump_replication");
         self.mirror.pump().map_err(wrap)?;
+        stage("mirror.pump");
         self.warehouse.tick().map_err(wrap)?;
+        stage("warehouse.tick");
         Ok(())
     }
 

@@ -30,21 +30,26 @@
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 
 use bytes::Bytes;
+use li_commons::exec::FanOutPool;
 use li_commons::hist::Histogram;
-use li_commons::metrics::{HistogramSummary, MetricValue, MetricsSnapshot};
+use li_commons::metrics::{Counter, HistogramSummary, MetricValue, MetricsSnapshot};
+use li_commons::shard::ShardMode;
 use li_kafka::{Partitioner, Producer};
+use li_workload::datasets::PymkRecord;
 use li_workload::site::{
-    expected_follow_sets, split_seed, SiteGraph, SiteGraphConfig, SiteMix, SiteOp, SiteWorkload,
+    expected_follow_sets, split_seed, SiteChunk, SiteGraph, SiteGraphChunks, SiteGraphConfig,
+    SiteMix, SiteOp, SiteWorkload,
 };
 
 use crate::platform::{
     DataPlatform, PlatformConfig, PlatformError, ACTIVITY_TOPIC,
 };
 use crate::consumers::member_row_key;
+use crate::sched::{run_on_pool, run_serial, Resumable};
 
 /// Per-tier p99 latency thresholds (the SLOs the run is gated on).
 #[derive(Debug, Clone)]
@@ -116,6 +121,27 @@ pub struct SiteBenchConfig {
     /// cut over (no refusals), and the ordinary conservation gates then
     /// prove no acked write was lost across the moves.
     pub migrate_partitions: u32,
+    /// OS worker threads the M:N scheduler multiplexes the logical
+    /// drivers onto (`0` = `min(drivers, 8)`). Hundreds of logical
+    /// drivers run on this bounded set; in `ShardMode::Deterministic`
+    /// the schedule collapses to serial on the calling thread and this
+    /// knob is moot.
+    pub workers: usize,
+    /// Ops a driver runs per scheduler quantum before yielding its
+    /// worker (`0` = 32).
+    pub quantum: usize,
+    /// Members per streaming-loader chunk in [`SiteBench::prepare`]
+    /// (`0` = 4096). Any value produces the identical platform state —
+    /// the loader's commit stream depends only on member order.
+    pub chunk_members: usize,
+    /// Activity-producer batching: messages buffered per partition
+    /// before a publish request (`1` = the legacy flush-per-send shape).
+    /// Deterministic triggers only — the linger knob stays off here so
+    /// same-seed fingerprints hold.
+    pub activity_batch_messages: usize,
+    /// Activity-producer batching: payload bytes buffered per partition
+    /// before a publish request.
+    pub activity_batch_bytes: usize,
 }
 
 impl SiteBenchConfig {
@@ -131,8 +157,55 @@ impl SiteBenchConfig {
             platform: PlatformConfig::default(),
             slo: SloThresholds::smoke(),
             migrate_partitions: 0,
+            workers: 0,
+            quantum: 0,
+            chunk_members: 0,
+            activity_batch_messages: 16,
+            activity_batch_bytes: 16 << 10,
         }
     }
+
+    fn effective_workers(&self) -> usize {
+        match self.workers {
+            0 => self.drivers.clamp(1, 8),
+            w => w,
+        }
+    }
+
+    fn effective_quantum(&self) -> usize {
+        match self.quantum {
+            0 => 32,
+            q => q,
+        }
+    }
+
+    fn effective_chunk_members(&self) -> usize {
+        match self.chunk_members {
+            0 => 4096,
+            c => c,
+        }
+    }
+}
+
+/// Wall-clock split of the prepare phase: how much time generation and
+/// loading each took, and whether they overlapped (streamed) or ran as a
+/// serial wall (bulk). With streaming, `generate_wall + load_wall`
+/// exceeding `wall` is the direct evidence of overlap.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PrepareStats {
+    /// End-to-end prepare wall clock.
+    pub wall: Duration,
+    /// Time spent inside the population generator.
+    pub generate_wall: Duration,
+    /// Time spent loading batches into the platform tiers (including the
+    /// final follow/PYMK flush and stream drain).
+    pub load_wall: Duration,
+    /// Chunks the loader consumed.
+    pub chunks: usize,
+    /// Members per chunk.
+    pub chunk_members: usize,
+    /// True when generation ran concurrently with loading.
+    pub overlapped: bool,
 }
 
 /// One SLO gate's verdict.
@@ -155,6 +228,9 @@ pub struct SiteBenchReport {
     pub members: u64,
     /// Wall-clock time of the load phase (excludes prepare and drain).
     pub load_wall: Duration,
+    /// Wall-clock split of the prepare phase (population generation vs
+    /// tier loading, and whether the two overlapped).
+    pub prepare: PrepareStats,
     /// Operations attempted.
     pub ops_attempted: u64,
     /// Operations acknowledged (attempted minus errors).
@@ -231,25 +307,249 @@ pub struct SiteBench {
     graph: Arc<SiteGraph>,
     workload: Arc<SiteWorkload>,
     config: SiteBenchConfig,
+    prepare_stats: PrepareStats,
 }
 
 /// Rows per seeding transaction (the bulk-load batch size).
 const SEED_BATCH: usize = 64;
 
-impl SiteBench {
-    /// Builds the platform and seeds the population into every tier:
-    /// profiles into Espresso (+ legacy primary rows for search), the
-    /// initial follow graph into the primary (bulk-load transactions, so
-    /// Databus populates the Voldemort caches), and the PYMK run into the
-    /// read-only store via build → pull → swap.
-    pub fn prepare(config: SiteBenchConfig) -> Result<Self, PlatformError> {
-        let graph = Arc::new(SiteGraph::generate(&config.graph));
-        Self::prepare_with_graph(config, graph)
+/// Chunks in flight between the generator thread and the loader: enough
+/// to hide generation latency, bounded so a slow tier backpressures the
+/// generator instead of materializing the whole population.
+const PREPARE_PIPELINE_DEPTH: usize = 4;
+
+/// Pump-thread idle backoff bounds (the old fixed 200µs poll is gone:
+/// the relay's SCN watch wakes the pump the moment primary commits land,
+/// and a quiet platform decays toward the cap instead of spinning).
+const PUMP_MIN_BACKOFF: Duration = Duration::from_micros(50);
+const PUMP_MAX_BACKOFF: Duration = Duration::from_millis(5);
+
+/// The canonical population loader: every prepare path — bulk or
+/// streaming, any chunk size — funnels member rows through this exact
+/// sequence, so the primary's commit stream (and with it the primary's
+/// `logical_fingerprint`) is a pure function of member order:
+///
+/// * Espresso profile documents land per batch through the router's
+///   multi-key fan-out (never touches the primary);
+/// * per member, in order: the legacy `member_profile` primary row, then
+///   the member's follow row into a buffer that commits as a bulk-load
+///   transaction at every [`SEED_BATCH`]th buffered row — a boundary
+///   determined by member order alone, never by chunk size;
+/// * company inverted lists and PYMK records accumulate and flush in
+///   [`finish`](Self::finish) (the RO build is an offline job — it needs
+///   the full record set, like its Hadoop analog).
+struct PopulationLoader<'a> {
+    platform: &'a DataPlatform,
+    follows_buffer: Vec<(u64, Vec<u8>)>,
+    follower_lists: Vec<Vec<u64>>,
+    pymk_records: Vec<(Bytes, Bytes)>,
+    members_since_pump: usize,
+}
+
+/// Members loaded between in-flight stream pumps. The Databus relay
+/// buffers a bounded byte window; a million-member seed outruns it long
+/// before the end-of-prepare drain, evicting SCNs the bootstrap consumer
+/// still needs. Pumping every N *members* keeps consumers within a few
+/// thousand SCNs of the head — and because the boundary is a pure
+/// function of member order, streaming and bulk prepares pump at the
+/// identical points (pump cadence is invisible to the conservation
+/// totals anyway; this keeps the paths structurally twinned).
+const PUMP_EVERY_MEMBERS: usize = 4096;
+
+fn join_ids(ids: &[u64]) -> Vec<u8> {
+    ids.iter()
+        .map(u64::to_string)
+        .collect::<Vec<_>>()
+        .join(",")
+        .into_bytes()
+}
+
+impl<'a> PopulationLoader<'a> {
+    fn new(platform: &'a DataPlatform, companies: u64) -> Self {
+        PopulationLoader {
+            platform,
+            follows_buffer: Vec::with_capacity(SEED_BATCH),
+            follower_lists: vec![Vec::new(); companies as usize],
+            pymk_records: Vec::new(),
+            members_since_pump: 0,
+        }
     }
 
-    /// [`Self::prepare`] with a pre-generated population — knee sweeps
+    fn flush_follows(&mut self) -> Result<(), PlatformError> {
+        if self.follows_buffer.is_empty() {
+            return Ok(());
+        }
+        let mut txn = self.platform.primary.begin();
+        for (member, value) in self.follows_buffer.drain(..) {
+            txn.put("member_follows", member_row_key(member), value, 1);
+        }
+        self.platform
+            .primary
+            .commit(txn)
+            .map_err(|e| PlatformError(e.to_string()))?;
+        Ok(())
+    }
+
+    /// Loads one batch of member rows (must arrive in member order,
+    /// gap-free across calls).
+    fn load_rows<'r>(
+        &mut self,
+        rows: impl Iterator<Item = (u64, &'r [u64], &'r str, &'r PymkRecord)>,
+    ) -> Result<(), PlatformError> {
+        let rows: Vec<(u64, &[u64], &str, &PymkRecord)> = rows.collect();
+        let documents: Vec<(u64, String)> = rows
+            .iter()
+            .map(|(member, _, text, _)| (*member, text.to_string()))
+            .collect();
+        self.platform.seed_profile_documents(&documents)?;
+        for (member, follows, text, pymk) in rows {
+            self.platform
+                .primary
+                .put_one(
+                    "member_profile",
+                    member_row_key(member),
+                    text.as_bytes().to_vec(),
+                    1,
+                )
+                .map_err(|e| PlatformError(e.to_string()))?;
+            if !follows.is_empty() {
+                self.follows_buffer.push((member, join_ids(follows)));
+                if self.follows_buffer.len() >= SEED_BATCH {
+                    self.flush_follows()?;
+                }
+            }
+            for &company in follows {
+                self.follower_lists[company as usize].push(member);
+            }
+            self.pymk_records.push((
+                Bytes::from(member_row_key(member).to_string()),
+                Bytes::from(pymk.to_bytes()),
+            ));
+            self.members_since_pump += 1;
+            if self.members_since_pump >= PUMP_EVERY_MEMBERS {
+                self.platform.pump_streams()?;
+                self.members_since_pump = 0;
+            }
+        }
+        Ok(())
+    }
+
+    /// Flushes the tail follow buffer, bulk-loads the company inverted
+    /// lists, and runs the PYMK build → pull → swap.
+    fn finish(mut self) -> Result<(), PlatformError> {
+        self.flush_follows()?;
+        let company_rows: Vec<(u64, Vec<u8>)> = self
+            .follower_lists
+            .iter()
+            .enumerate()
+            .filter(|(_, list)| !list.is_empty())
+            .map(|(c, list)| (c as u64, join_ids(list)))
+            .collect();
+        for chunk in company_rows.chunks(SEED_BATCH) {
+            let mut txn = self.platform.primary.begin();
+            for (company, value) in chunk {
+                txn.put(
+                    "company_followers",
+                    crate::consumers::company_row_key(*company),
+                    value.clone(),
+                    1,
+                );
+            }
+            self.platform
+                .primary
+                .commit(txn)
+                .map_err(|e| PlatformError(e.to_string()))?;
+        }
+        self.platform.load_pymk(std::mem::take(&mut self.pymk_records))?;
+        Ok(())
+    }
+}
+
+impl SiteBench {
+    /// Builds the platform and seeds the population into every tier —
+    /// streaming: a generator thread yields deterministic member chunks
+    /// through a bounded channel while this thread loads them (profiles
+    /// into Espresso through the router's batched fan-out + legacy
+    /// primary rows for search, the follow graph into the primary as
+    /// bulk-load transactions, PYMK accumulating toward the RO build).
+    /// Generation cost overlaps loading instead of forming a serial
+    /// wall; when the platform runs sharded, push-style Databus dispatch
+    /// additionally drains the seeded follow stream into the Voldemort
+    /// caches while later chunks are still generating. The resulting
+    /// platform state is byte-identical to the bulk
+    /// [`Self::prepare_with_graph`] path at any chunk size
+    /// (`tests/site_loader_props.rs`).
+    pub fn prepare(config: SiteBenchConfig) -> Result<Self, PlatformError> {
+        let chunk_members = config.effective_chunk_members();
+        let platform = Arc::new(DataPlatform::with_config(config.platform.clone())?);
+        let prepare_start = Instant::now();
+        let dispatcher = match config.platform.shard_mode {
+            ShardMode::Parallel => Some(platform.start_stream_dispatch()),
+            ShardMode::Deterministic => None,
+        };
+        let (chunk_tx, chunk_rx) = mpsc::sync_channel::<SiteChunk>(PREPARE_PIPELINE_DEPTH);
+        let graph_config = config.graph.clone();
+        let generator_builder = std::thread::Builder::new().name("site-gen".into());
+        let generator = generator_builder.spawn(move || -> Duration {
+            let mut generate_wall = Duration::ZERO;
+            let mut chunks = SiteGraphChunks::new(&graph_config, chunk_members);
+            loop {
+                let started = Instant::now();
+                let Some(chunk) = chunks.next() else { break };
+                generate_wall += started.elapsed();
+                if chunk_tx.send(chunk).is_err() {
+                    break; // loader bailed; unwind quietly
+                }
+            }
+            generate_wall
+        }).expect("spawn population generator");
+        let mut loader = PopulationLoader::new(&platform, config.graph.companies);
+        let mut collected: Vec<SiteChunk> = Vec::new();
+        let mut load_wall = Duration::ZERO;
+        let load_result: Result<(), PlatformError> = (|| {
+            for chunk in &chunk_rx {
+                let started = Instant::now();
+                loader.load_rows(chunk.rows().map(|(m, f, p, r)| (m, f.as_slice(), p, r)))?;
+                load_wall += started.elapsed();
+                collected.push(chunk);
+            }
+            Ok(())
+        })();
+        drop(chunk_rx);
+        let generate_wall = generator.join().expect("population generator panicked");
+        load_result?;
+        let started = Instant::now();
+        loader.finish()?;
+        if let Some(dispatcher) = dispatcher {
+            let stats = dispatcher.stop();
+            if stats.errors > 0 {
+                return Err(PlatformError(format!(
+                    "{} Databus dispatch errors during prepare",
+                    stats.errors
+                )));
+            }
+        }
+        // Fan the seeded state out before the clock starts.
+        platform.pump_streams()?;
+        load_wall += started.elapsed();
+        let chunks = collected.len();
+        let graph = Arc::new(SiteGraph::from_chunks(&config.graph, collected));
+        let prepare_stats = PrepareStats {
+            wall: prepare_start.elapsed(),
+            generate_wall,
+            load_wall,
+            chunks,
+            chunk_members,
+            overlapped: true,
+        };
+        Self::assemble(config, platform, graph, prepare_stats)
+    }
+
+    /// The bulk path: seeds a pre-generated population — knee sweeps
     /// reuse one graph across load points so only the platform state is
-    /// rebuilt per point.
+    /// rebuilt per point. Funnels through the same canonical
+    /// [`PopulationLoader`] as the streaming path, so both produce the
+    /// identical platform state.
     pub fn prepare_with_graph(
         config: SiteBenchConfig,
         graph: Arc<SiteGraph>,
@@ -260,72 +560,32 @@ impl SiteBench {
             "graph was generated from a different population config"
         );
         let platform = Arc::new(DataPlatform::with_config(config.platform.clone())?);
-
-        // Profiles: Espresso serving store + legacy primary row (search).
-        for member in 0..graph.member_count() {
-            platform.update_profile(member, graph.profile_of(member))?;
-        }
-
-        // Initial follow graph: bulk-loaded into the primary in batched
-        // transactions; the Databus pipeline fans it out to the caches.
-        let join = |ids: &[u64]| {
-            ids.iter()
-                .map(u64::to_string)
-                .collect::<Vec<_>>()
-                .join(",")
-                .into_bytes()
-        };
-        let member_rows: Vec<(u64, Vec<u8>)> = (0..graph.member_count())
-            .filter(|&m| !graph.follows_of(m).is_empty())
-            .map(|m| (m, join(graph.follows_of(m))))
-            .collect();
-        for chunk in member_rows.chunks(SEED_BATCH) {
-            let mut txn = platform.primary.begin();
-            for (member, value) in chunk {
-                txn.put("member_follows", member_row_key(*member), value.clone(), 1);
-            }
-            platform.primary.commit(txn).map_err(|e| PlatformError(e.to_string()))?;
-        }
-        let mut follower_lists: Vec<Vec<u64>> =
-            vec![Vec::new(); graph.company_count() as usize];
-        for member in 0..graph.member_count() {
-            for &company in graph.follows_of(member) {
-                follower_lists[company as usize].push(member);
-            }
-        }
-        let company_rows: Vec<(u64, Vec<u8>)> = follower_lists
-            .iter()
-            .enumerate()
-            .filter(|(_, list)| !list.is_empty())
-            .map(|(c, list)| (c as u64, join(list)))
-            .collect();
-        for chunk in company_rows.chunks(SEED_BATCH) {
-            let mut txn = platform.primary.begin();
-            for (company, value) in chunk {
-                txn.put(
-                    "company_followers",
-                    crate::consumers::company_row_key(*company),
-                    value.clone(),
-                    1,
-                );
-            }
-            platform.primary.commit(txn).map_err(|e| PlatformError(e.to_string()))?;
-        }
-
-        // PYMK: one offline "job run" into the read-only store.
-        let records: Vec<(Bytes, Bytes)> = (0..graph.member_count())
-            .map(|m| {
-                (
-                    Bytes::from(member_row_key(m).to_string()),
-                    Bytes::from(graph.pymk_of(m).to_bytes()),
-                )
-            })
-            .collect();
-        platform.load_pymk(records)?;
-
-        // Fan the seeded state out before the clock starts.
+        let prepare_start = Instant::now();
+        let mut loader = PopulationLoader::new(&platform, config.graph.companies);
+        loader.load_rows(
+            (0..graph.member_count())
+                .map(|m| (m, graph.follows_of(m), graph.profile_of(m), graph.pymk_of(m))),
+        )?;
+        loader.finish()?;
         platform.pump_streams()?;
+        let wall = prepare_start.elapsed();
+        let prepare_stats = PrepareStats {
+            wall,
+            generate_wall: Duration::ZERO,
+            load_wall: wall,
+            chunks: 1,
+            chunk_members: graph.member_count() as usize,
+            overlapped: false,
+        };
+        Self::assemble(config, platform, graph, prepare_stats)
+    }
 
+    fn assemble(
+        config: SiteBenchConfig,
+        platform: Arc<DataPlatform>,
+        graph: Arc<SiteGraph>,
+        prepare_stats: PrepareStats,
+    ) -> Result<Self, PlatformError> {
         let workload = Arc::new(SiteWorkload::new(
             graph.member_count(),
             graph.company_count(),
@@ -336,7 +596,13 @@ impl SiteBench {
             graph,
             workload,
             config,
+            prepare_stats,
         })
+    }
+
+    /// The prepare phase's wall-clock split.
+    pub fn prepare_stats(&self) -> PrepareStats {
+        self.prepare_stats
     }
 
     /// The prepared platform (read access for scenario composition).
@@ -349,15 +615,17 @@ impl SiteBench {
         &self.graph
     }
 
-    /// Drives the closed loop: spawns the driver threads and a background
-    /// stream pump, joins, drains every pipeline, snapshots the registry,
-    /// and evaluates the SLO gates.
+    /// Drives the closed loop: multiplexes the logical drivers onto the
+    /// bounded worker pool (or the serial twin in `Deterministic` mode)
+    /// alongside a watch-driven stream pump, drains every pipeline,
+    /// snapshots the registry, and evaluates the SLO gates.
     pub fn run(self) -> Result<SiteBenchReport, PlatformError> {
         let SiteBench {
             platform,
             graph,
             workload,
             config,
+            prepare_stats,
         } = self;
         let tiers = ["profile_read", "pymk_read", "follow_write", "activity"];
         // Create the site.* counters up front so they appear (as zeros)
@@ -392,47 +660,114 @@ impl SiteBench {
         // here a dedicated thread stands in for it during load. (The
         // dispatcher above only covers the Databus subscribers; bootstrap,
         // Espresso replication, the Kafka mirror and the warehouse still
-        // ride the pump.)
+        // ride the pump.) Wakeups are watch-driven: the relay's SCN watch
+        // fires the moment primary commits land, and between commits the
+        // idle backoff doubles from 50µs toward 5ms — a quiet platform
+        // stops paying for a hot 200µs poll without giving up pump
+        // freshness under write load.
         let stop_pump = Arc::new(AtomicBool::new(false));
         let pump_handle = {
             let platform = Arc::clone(&platform);
             let stop = Arc::clone(&stop_pump);
             let errors = pump_errors.clone();
-            std::thread::spawn(move || {
-                while !stop.load(Ordering::Acquire) {
-                    if platform.pump_streams().is_err() {
-                        errors.inc();
+            std::thread::Builder::new()
+                .name("site-pump".into())
+                .spawn(move || {
+                    let trace = std::env::var_os("LI_PUMP_TRACE").is_some();
+                    let mut scn_watch = platform.relay.scn_watch();
+                    let mut backoff = PUMP_MIN_BACKOFF;
+                    let mut iterations: u64 = 0;
+                    let mut last_report = Instant::now();
+                    while !stop.load(Ordering::Acquire) {
+                        let pump_start = Instant::now();
+                        if platform.pump_streams().is_err() {
+                            errors.inc();
+                        }
+                        iterations += 1;
+                        if trace && last_report.elapsed() > Duration::from_secs(30) {
+                            eprintln!(
+                                "[pump] alive: {iterations} iterations, last {:.2?}",
+                                pump_start.elapsed()
+                            );
+                            last_report = Instant::now();
+                        }
+                        if scn_watch.wait_newer(backoff).is_some() {
+                            backoff = PUMP_MIN_BACKOFF;
+                        } else {
+                            backoff = (backoff * 2).min(PUMP_MAX_BACKOFF);
+                        }
                     }
-                    std::thread::sleep(Duration::from_micros(200));
-                }
-            })
+                })
+                .expect("spawn stream pump")
         };
 
         let attempted = Arc::new(AtomicU64::new(0));
         let acked = Arc::new(AtomicU64::new(0));
-        let load_start = Instant::now();
-        let driver_handles: Vec<_> = streams
+        // Hoist the per-tier result counters once; every driver clones
+        // the same registry handles instead of re-resolving names per op.
+        let tier_counters: BTreeMap<&'static str, (Counter, Counter)> = tiers
             .iter()
-            .map(|ops| {
-                let ops = ops.clone();
-                let platform = Arc::clone(&platform);
-                let attempted = Arc::clone(&attempted);
-                let acked = Arc::clone(&acked);
-                std::thread::spawn(move || drive(&platform, &ops, &attempted, &acked))
+            .map(|&tier| {
+                (
+                    tier,
+                    (
+                        scope.counter(&format!("{tier}.ok")),
+                        scope.counter(&format!("{tier}.err")),
+                    ),
+                )
             })
             .collect();
-        // Live resharding under traffic: run the configured partition
-        // moves on this thread while the drivers load the platform, so
+        let quantum = config.effective_quantum();
+        let states: Vec<DriverState> = streams
+            .iter()
+            .map(|ops| DriverState {
+                platform: Arc::clone(&platform),
+                producer: Producer::new(platform.kafka_live.clone())
+                    .with_partitioner(Partitioner::Keyed)
+                    .with_batch_size(config.activity_batch_messages.max(1))
+                    .with_batch_bytes(config.activity_batch_bytes.max(1)),
+                ops: ops.clone(),
+                pos: 0,
+                quantum,
+                hists: BTreeMap::new(),
+                tier_counters: tier_counters.clone(),
+                attempted: Arc::clone(&attempted),
+                acked: Arc::clone(&acked),
+            })
+            .collect();
+        // Live resharding under traffic: the configured partition moves
+        // run on their own thread while the drivers load the platform, so
         // every phase of every migration races real reads and writes.
-        let expected_flips = if config.migrate_partitions > 0 {
-            run_inflight_migrations(&platform, config.migrate_partitions)?
-        } else {
-            0
+        // (The scheduler below occupies this thread in Deterministic
+        // mode, so the moves cannot ride it like they used to.)
+        let migration_handle = (config.migrate_partitions > 0).then(|| {
+            let platform = Arc::clone(&platform);
+            let count = config.migrate_partitions;
+            std::thread::Builder::new()
+                .name("site-migrate".into())
+                .spawn(move || run_inflight_migrations(&platform, count))
+                .expect("spawn migration driver")
+        });
+        let load_start = Instant::now();
+        // M:N dispatch: hundreds of logical drivers multiplex onto a
+        // bounded worker pool, each advancing one quantum of its op
+        // stream per turn. Deterministic mode collapses to the serial
+        // twin — identical per-driver streams, fully sequential schedule
+        // — so same-seed conservation fingerprints stay byte-identical.
+        let finished = match config.platform.shard_mode {
+            ShardMode::Parallel => {
+                let pool = FanOutPool::named("driver", config.effective_workers());
+                run_on_pool(&pool, states)
+            }
+            ShardMode::Deterministic => run_serial(states),
+        };
+        let expected_flips = match migration_handle {
+            Some(handle) => handle.join().expect("migration thread panicked")?,
+            None => 0,
         };
         let mut tier_local: BTreeMap<&'static str, Histogram> = BTreeMap::new();
-        for handle in driver_handles {
-            let per_tier = handle.join().expect("driver thread panicked");
-            for (tier, hist) in per_tier {
+        for state in finished {
+            for (tier, hist) in state.hists {
                 tier_local.entry(tier).or_default().merge(&hist);
             }
         }
@@ -555,6 +890,7 @@ impl SiteBench {
             drivers: config.drivers,
             members: graph.member_count(),
             load_wall,
+            prepare: prepare_stats,
             ops_attempted,
             ops_acked,
             throughput_ops_per_sec: ops_acked as f64 / load_wall.as_secs_f64().max(1e-9),
@@ -566,38 +902,43 @@ impl SiteBench {
     }
 }
 
-/// One driver's closed loop: issue, time, record, repeat. Returns the
-/// per-tier latency histograms (merged by the caller — no shared state on
-/// the hot path beyond the op counters).
-fn drive(
-    platform: &DataPlatform,
-    ops: &[SiteOp],
-    attempted: &AtomicU64,
-    acked: &AtomicU64,
-) -> Vec<(&'static str, Histogram)> {
-    // Each driver is its own Kafka producer session: batch size 1 (an ack
-    // per send — closed loop needs per-op completion) partitioned by
-    // member key so one member's events stay ordered.
-    let producer = Producer::new(platform.kafka_live.clone()).with_partitioner(Partitioner::Keyed);
-    let scope = platform.metrics().scope("site");
-    let mut hists: BTreeMap<&'static str, Histogram> = BTreeMap::new();
-    for op in ops {
-        attempted.fetch_add(1, Ordering::Relaxed);
+/// One logical closed-loop driver as a resumable state machine: the M:N
+/// scheduler steps it one quantum at a time, so hundreds of these
+/// multiplex onto a handful of OS workers. Each carries its own Kafka
+/// producer session (batched sends, keyed partitioning so one member's
+/// events stay ordered) and its own latency histograms — no shared state
+/// on the hot path beyond the op counters.
+struct DriverState {
+    platform: Arc<DataPlatform>,
+    producer: Producer,
+    ops: Vec<SiteOp>,
+    pos: usize,
+    quantum: usize,
+    hists: BTreeMap<&'static str, Histogram>,
+    tier_counters: BTreeMap<&'static str, (Counter, Counter)>,
+    attempted: Arc<AtomicU64>,
+    acked: Arc<AtomicU64>,
+}
+
+impl DriverState {
+    /// Issue, time, record — one closed-loop turn.
+    fn run_op(&mut self, op: &SiteOp) {
+        self.attempted.fetch_add(1, Ordering::Relaxed);
         let tier = op.tier();
         let start = Instant::now();
         let outcome: Result<(), String> = match op {
-            SiteOp::ProfileRead(member) => platform
+            SiteOp::ProfileRead(member) => self
+                .platform
                 .profile(*member)
                 .map(|_| ())
                 .map_err(|e| e.to_string()),
-            SiteOp::PymkRead(member) => platform
-                .pymk_recommendations(*member)
-                .map(|_| ())
-                .map_err(|e| e.to_string()),
-            SiteOp::Follow { member, company } => platform
+            SiteOp::PymkRead(member) => self.pymk_page(*member),
+            SiteOp::Follow { member, company } => self
+                .platform
                 .follow_company(*member, *company)
                 .map_err(|e| e.to_string()),
-            SiteOp::Activity { member, event } => producer
+            SiteOp::Activity { member, event } => self
+                .producer
                 .send_keyed(
                     ACTIVITY_TOPIC,
                     member_row_key(*member).to_string().as_bytes(),
@@ -606,16 +947,63 @@ fn drive(
                 .map_err(|e| e.to_string()),
         };
         let nanos = start.elapsed().as_nanos() as u64;
-        hists.entry(tier).or_default().record(nanos);
+        self.hists.entry(tier).or_default().record(nanos);
+        let (ok, err) = &self.tier_counters[tier];
         match outcome {
             Ok(()) => {
-                acked.fetch_add(1, Ordering::Relaxed);
-                scope.counter(&format!("{tier}.ok")).inc();
+                self.acked.fetch_add(1, Ordering::Relaxed);
+                ok.inc();
             }
-            Err(_) => scope.counter(&format!("{tier}.err")).inc(),
+            Err(_) => err.inc(),
         }
     }
-    hists.into_iter().collect()
+
+    /// The PYMK page the way the site serves it: the Voldemort lookup for
+    /// the recommendation list, then one multi-key Espresso read fanning
+    /// the profile cards out across the partition masters — the op's
+    /// latency covers the whole composite page.
+    fn pymk_page(&self, member: u64) -> Result<(), String> {
+        let Some(bytes) = self
+            .platform
+            .pymk_recommendations(member)
+            .map_err(|e| e.to_string())?
+        else {
+            return Ok(());
+        };
+        let Some(record) = PymkRecord::from_bytes(member, &bytes) else {
+            return Err(format!("member {member}: undecodable PYMK record"));
+        };
+        let ids: Vec<u64> = record.recommendations.iter().map(|&(id, _)| id).collect();
+        if ids.is_empty() {
+            return Ok(());
+        }
+        self.platform
+            .profiles(&ids)
+            .map(|_| ())
+            .map_err(|e| e.to_string())
+    }
+}
+
+impl Resumable for DriverState {
+    fn step(&mut self) -> bool {
+        let end = (self.pos + self.quantum.max(1)).min(self.ops.len());
+        while self.pos < end {
+            let op = self.ops[self.pos].clone();
+            self.pos += 1;
+            self.run_op(&op);
+        }
+        if self.pos < self.ops.len() {
+            return false;
+        }
+        // Stream exhausted: push out any activity sends still buffered by
+        // the batching producer. A flush failure here is a lost-write
+        // signal — it lands on the activity error counter and the
+        // conservation gates catch the shortfall.
+        if self.producer.flush().is_err() {
+            self.tier_counters["activity"].1.inc();
+        }
+        true
+    }
 }
 
 /// The in-flight partition moves for [`SiteBench::run`]: `count`

@@ -274,6 +274,18 @@ impl DatabusClient {
                     });
                 };
                 self.metrics.bootstrap_switchovers.inc();
+                // Tug the bootstrap's log writer before being served: in
+                // production it follows the relay continuously, but here
+                // it advances when pumped — and the pump may be parked on
+                // *this client's* drive lock (its own catch-up pass runs
+                // behind ours). Serving from the stale log would hand back
+                // an `as_of` still below the relay's buffered range, and
+                // the next cycle would fall behind again, forever. After
+                // the tug the delta/snapshot is current as of now, so the
+                // client lands at the relay head and resumes cleanly. This
+                // also advances the relay's eviction floor, re-bounding
+                // the buffer while the pump is blocked.
+                bootstrap.catch_up_from(&self.relay).map_err(DatabusError::Relay)?;
                 if checkpoint == 0 {
                     // Fresh client: consistent snapshot at U.
                     self.consumer.on_snapshot_start();
@@ -496,6 +508,54 @@ mod tests {
         relay.ingest(window(204, vec![put("after", "y")])).unwrap();
         assert_eq!(client.poll_once().unwrap(), 1);
         assert_eq!(client.stats().windows_from_relay, 4);
+    }
+
+    #[test]
+    fn fallen_behind_with_stale_bootstrap_and_parked_pump_terminates() {
+        // The 10^6-member site-bench livelock, in miniature: the
+        // bootstrap's log writer only advances when pumped, the pump is
+        // parked (here: nobody calls it; in the bench: blocked on this
+        // very client's drive lock), and a fat-window burst blows the
+        // client off the relay. Pre-fix, catch_up spun forever re-serving
+        // the same stale consolidated delta — its as_of never reached the
+        // relay's buffered range. The eviction floor keeps the unlinked
+        // suffix buffered and the in-band tug advances the log writer, so
+        // one delta lands the client at the head.
+        let relay = Arc::new(Relay::new("primary", 4096));
+        relay.set_eviction_floor(0);
+        let bootstrap = Arc::new(BootstrapServer::new());
+        let consumer = Arc::new(MapConsumer::default());
+        let client =
+            DatabusClient::new(relay.clone(), Some(bootstrap.clone()), consumer.clone());
+        for scn in 1..=3u64 {
+            relay.ingest(window(scn, vec![put(&format!("k{scn}"), "v1")])).unwrap();
+        }
+        bootstrap.catch_up_from(&relay).unwrap();
+        assert_eq!(client.catch_up().unwrap(), 3);
+
+        // The pump runs once more with the log tail at 100, then parks.
+        for scn in 4..=100u64 {
+            relay.ingest(window(scn, vec![put("hot", "warm")])).unwrap();
+        }
+        bootstrap.catch_up_from(&relay).unwrap();
+        // Fat burst far past the byte budget: the linked prefix (and with
+        // it the client's position) is evicted; the unlinked suffix pins.
+        let fat = "y".repeat(256);
+        for scn in 101..=300u64 {
+            relay.ingest(window(scn, vec![put("hot", &fat)])).unwrap();
+        }
+        assert!(relay.oldest_scn() > 4, "client's position evicted");
+        assert_eq!(bootstrap.log_scn(), 100, "log writer is stale");
+
+        let n = client.catch_up().unwrap();
+        assert!(n >= 1);
+        assert_eq!(client.checkpoint(), 300, "landed at the relay head");
+        assert_eq!(bootstrap.log_scn(), 300, "client tugged the log writer");
+        assert_eq!(client.stats().deltas, 1, "one consolidated delta sufficed");
+        assert_eq!(
+            consumer.state.lock().get(&RowKey::single("hot")).unwrap().as_ref(),
+            fat.as_bytes()
+        );
     }
 
     #[test]

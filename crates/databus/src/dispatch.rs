@@ -93,13 +93,15 @@ impl StreamDispatcher {
         let mut threads = Vec::new();
         let mut senders: Vec<Sender<Scn>> = Vec::new();
 
-        for client in &clients {
+        for (worker_index, client) in clients.iter().enumerate() {
             let (tx, rx): (Sender<Scn>, Receiver<Scn>) = bounded(capacity.max(1));
             senders.push(tx);
             let client = Arc::clone(client);
             let stopped = Arc::clone(&stopped);
             let stats = Arc::clone(&stats);
-            threads.push(std::thread::spawn(move || {
+            let builder =
+                std::thread::Builder::new().name(format!("dispatch-{worker_index}"));
+            threads.push(builder.spawn(move || {
                 while !stopped.load(Ordering::SeqCst) {
                     if rx.recv_timeout(TICK).is_ok() {
                         // Drain any queued duplicates before the (possibly
@@ -110,14 +112,15 @@ impl StreamDispatcher {
                         }
                     }
                 }
-            }));
+            }).expect("spawn dispatch worker"));
         }
 
         {
             let mut watch = relay.scn_watch();
             let stopped = Arc::clone(&stopped);
             let stats = Arc::clone(&stats);
-            threads.push(std::thread::spawn(move || {
+            let builder = std::thread::Builder::new().name("dispatch-notify".into());
+            threads.push(builder.spawn(move || {
                 while !stopped.load(Ordering::SeqCst) {
                     let Some(scn) = watch.wait_newer(TICK) else {
                         continue;
@@ -137,7 +140,7 @@ impl StreamDispatcher {
                 }
                 // Senders drop here; workers see Disconnected after their
                 // queues drain.
-            }));
+            }).expect("spawn dispatch notifier"));
         }
 
         StreamDispatcher {

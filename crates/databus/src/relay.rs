@@ -106,6 +106,13 @@ struct Buffer {
     /// the window deque, this watermark survives eviction and full drains,
     /// so an SCN gap can never silently open a hole in the stream.
     expected_next: Scn,
+    /// Eviction floor: windows with `scn > floor` are pinned in the buffer
+    /// even past the byte budget. `None` means unpinned (evict freely).
+    /// The bootstrap's log writer advances the floor to its log tail as it
+    /// links windows — the relay never drops a window the long-look-back
+    /// store hasn't persisted, because such a window would be gone from the
+    /// whole system (the relay is the only other holder).
+    pin_floor: Option<Scn>,
 }
 
 impl Buffer {
@@ -248,18 +255,27 @@ impl Relay {
             buffer.windows.push_back(Arc::clone(window));
         }
         // Evict whole windows from the head until within budget (always
-        // keep at least the newest window).
+        // keep at least the newest window, and never a window past the
+        // pin floor — the bootstrap hasn't linked it yet).
         while buffer.bytes > self.max_bytes && buffer.windows.len() > 1 {
+            let front_scn = buffer.windows.front().map_or(0, |w| w.window().scn);
+            if buffer.pin_floor.is_some_and(|floor| front_scn > floor) {
+                break;
+            }
             if let Some(evicted) = buffer.windows.pop_front() {
                 buffer.bytes -= evicted.size_estimate();
             }
         }
         let newest = buffer.windows.back().map_or(0, |w| w.window().scn);
+        // Publish the high-water gauge under the buffer lock: set after
+        // the drop, two concurrent batches can land out of SCN order and
+        // leave the gauge stale (the counters and the watch are
+        // order-insensitive and stay outside).
+        self.metrics.newest_scn.set(newest as i64);
         drop(buffer);
         let n = windows.len();
         self.windows_ingested.fetch_add(n as u64, Ordering::Relaxed);
         self.metrics.windows_in.add(n as u64);
-        self.metrics.newest_scn.set(newest as i64);
         self.scn_watch.send(newest);
         Ok(n)
     }
@@ -282,6 +298,25 @@ impl Relay {
     /// ingested and no watermark was restored).
     pub fn expected_next_scn(&self) -> Scn {
         self.buffer.lock().expected_next
+    }
+
+    /// Pins windows with `scn > floor` against byte-budget eviction. The
+    /// bootstrap's log writer calls this with its log tail after every
+    /// catch-up: everything at or below the tail is durably linked in log
+    /// storage and may be evicted; everything above it exists *only* here,
+    /// so dropping it would lose committed writes for good (a fallen-behind
+    /// consumer's consolidated delta could then never reach the relay's
+    /// buffered range — the livelock the site bench hit at 10^6 members).
+    /// The buffer may transiently exceed its budget while the floor lags;
+    /// the floor advances every pump and every fallen-behind switchover,
+    /// so the overshoot is bounded by one catch-up interval of writes.
+    pub fn set_eviction_floor(&self, floor: Scn) {
+        self.buffer.lock().pin_floor = Some(floor);
+    }
+
+    /// The current eviction floor (`None` = unpinned, evict freely).
+    pub fn eviction_floor(&self) -> Option<Scn> {
+        self.buffer.lock().pin_floor
     }
 
     /// Oldest SCN still buffered (0 when empty).
@@ -586,6 +621,26 @@ mod tests {
         assert!(relay
             .events_after(oldest - 1, 100, &ServerFilter::all())
             .is_ok());
+    }
+
+    #[test]
+    fn eviction_floor_pins_unlinked_windows() {
+        // Budget for roughly 3 windows of ~1KB, but everything above the
+        // floor is pinned regardless.
+        let relay = Relay::new("primary", 3200);
+        relay.set_eviction_floor(0);
+        for scn in 1..=10 {
+            relay.ingest(window(scn, 1000)).unwrap();
+        }
+        assert_eq!(relay.window_count(), 10, "nothing linked, nothing evicted");
+        assert!(relay.buffered_bytes() > 3200, "budget overshoot is allowed");
+        // The log writer links 1..=7: they become evictable on the next
+        // ingest, but the unlinked suffix stays.
+        relay.set_eviction_floor(7);
+        relay.ingest(window(11, 1000)).unwrap();
+        assert_eq!(relay.oldest_scn(), 8, "evicted exactly the linked prefix");
+        let err = relay.events_after(0, 10, &ServerFilter::all()).unwrap_err();
+        assert_eq!(err, RelayError::ScnNotFound { requested: 0, oldest: 8 });
     }
 
     #[test]

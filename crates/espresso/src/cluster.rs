@@ -11,9 +11,10 @@
 //! the Databus relay and propagated to other storage nodes").
 
 use parking_lot::{Mutex, RwLock};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::{Arc, Weak};
 
+use li_commons::exec::{fan_out, FanOutMode, FanOutOptions, FanOutPool, FanOutTask};
 use li_commons::metrics::{Counter, Histo, MetricsRegistry};
 use li_commons::ring::{NodeId, PartitionId};
 use li_commons::schema::Record;
@@ -25,6 +26,10 @@ use li_zk::ZooKeeper;
 use crate::node::{SchemaHandle, StorageNode};
 use crate::schema::{DatabaseSchema, EspressoError};
 use crate::uri::ResourcePath;
+
+/// One master node's slice of a multi-key request: `(original index,
+/// key, payload)` per document, input order preserved.
+type MasterBatch<T> = Vec<(usize, RowKey, T)>;
 
 /// Relay buffer budget per storage node (bytes).
 const RELAY_BUFFER_BYTES: usize = 8 << 20;
@@ -64,6 +69,14 @@ pub struct EspressoCluster {
     /// plus JSON parse per request; the Helix controller pushes every
     /// rebalanced view into the watch.
     views: RwLock<HashMap<String, li_commons::watch::Receiver<Arc<li_helix::Assignment>>>>,
+    /// How multi-key requests execute their per-master-node sub-batches.
+    /// Deterministic (the default) runs them inline in node order —
+    /// replayable; Parallel fans them out over [`Self::fan_out_pool`].
+    fan_out_mode: RwLock<FanOutMode>,
+    /// Read-mostly handle to the router's shared fan-out pool, created
+    /// lazily on first Parallel multi-key request (Deterministic clusters
+    /// spawn no threads). Same idiom as the Voldemort quorum pool.
+    fan_out_pool: RwLock<Option<Arc<FanOutPool>>>,
     registry: Arc<MetricsRegistry>,
     metrics: EspressoMetrics,
 }
@@ -103,6 +116,8 @@ impl EspressoCluster {
             participants: Mutex::new(HashMap::new()),
             schemas: RwLock::new(HashMap::new()),
             views: RwLock::new(HashMap::new()),
+            fan_out_mode: RwLock::new(FanOutMode::Deterministic),
+            fan_out_pool: RwLock::new(None),
             metrics: EspressoMetrics::new(&registry),
             registry,
         });
@@ -357,6 +372,155 @@ impl EspressoCluster {
         })
     }
 
+    /// Sets how multi-key requests execute (Deterministic by default;
+    /// the site platform switches to Parallel alongside `ShardMode`).
+    pub fn set_fan_out_mode(&self, mode: FanOutMode) {
+        *self.fan_out_mode.write() = mode;
+    }
+
+    /// The current multi-key execution mode.
+    pub fn fan_out_mode(&self) -> FanOutMode {
+        *self.fan_out_mode.read()
+    }
+
+    /// The shared pool behind Parallel multi-key fan-out, created lazily
+    /// so Deterministic clusters spawn no threads. Read-mostly after the
+    /// first acquisition.
+    fn fan_out_pool(&self) -> Arc<FanOutPool> {
+        if let Some(pool) = self.fan_out_pool.read().as_ref() {
+            return Arc::clone(pool);
+        }
+        Arc::clone(
+            self.fan_out_pool
+                .write()
+                .get_or_insert_with(|| Arc::new(FanOutPool::new(8))),
+        )
+    }
+
+    /// Groups `keys` by their master node (input order preserved within
+    /// each group; groups in node order, so Deterministic replays are
+    /// stable) against the watch-cached assignment.
+    fn group_by_master<T>(
+        &self,
+        db: &str,
+        items: Vec<(RowKey, T)>,
+    ) -> Result<BTreeMap<NodeId, MasterBatch<T>>, EspressoError> {
+        let mut groups: BTreeMap<NodeId, MasterBatch<T>> = BTreeMap::new();
+        for (index, (key, payload)) in items.into_iter().enumerate() {
+            let (_, master) = self.route(db, Self::resource_of(&key)?)?;
+            groups.entry(master).or_default().push((index, key, payload));
+        }
+        Ok(groups)
+    }
+
+    /// Runs one already-built fan-out: one task per master node, each
+    /// returning its sub-batch results tagged with original indices.
+    /// Requires every task to succeed (a multi-key request has no quorum
+    /// semantics — a failed sub-batch fails the request).
+    fn run_grouped<T: Send + 'static>(
+        &self,
+        tasks: Vec<FanOutTask<Vec<(usize, T)>, EspressoError>>,
+        total: usize,
+    ) -> Result<Vec<T>, EspressoError> {
+        let mode = self.fan_out_mode();
+        let required = tasks.len();
+        let pool = matches!(mode, FanOutMode::Parallel).then(|| self.fan_out_pool());
+        let opts = FanOutOptions {
+            mode,
+            required,
+            ..Default::default()
+        };
+        let mut report = fan_out(pool.as_deref(), &opts, tasks, Vec::new(), None, None);
+        if let Some((_, err)) = report.fatal.take() {
+            return Err(err);
+        }
+        if let Some((_, err)) = report.failures.into_iter().next() {
+            return Err(err);
+        }
+        let mut slots: Vec<Option<T>> = std::iter::repeat_with(|| None).take(total).collect();
+        for (_, group) in report.quorum.into_iter().chain(report.extras) {
+            for (index, value) in group {
+                slots[index] = Some(value);
+            }
+        }
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.ok_or_else(|| {
+                    EspressoError::Cluster("multi-key fan-out dropped a sub-batch".into())
+                })
+            })
+            .collect()
+    }
+
+    /// GET many documents in one routed request: keys are grouped by
+    /// master node against the watch-cached assignment and each node's
+    /// sub-batch runs as one fan-out task (parallel across nodes when the
+    /// cluster is in Parallel mode). Results come back in input order.
+    /// Requests are counted per document, so router accounting is
+    /// invariant to how callers batch.
+    pub fn multi_get(
+        &self,
+        db: &str,
+        table: &str,
+        keys: Vec<RowKey>,
+    ) -> Result<Vec<Option<(Record, Row)>>, EspressoError> {
+        let total = keys.len();
+        self.metrics.requests.add(total as u64);
+        let _timer = self.metrics.request_latency.start_timer();
+        let groups = self.group_by_master(db, keys.into_iter().map(|k| (k, ())).collect())?;
+        let mut tasks = Vec::with_capacity(groups.len());
+        for (node_id, group) in groups {
+            let node = self.node(node_id)?;
+            let db = db.to_string();
+            let table = table.to_string();
+            tasks.push(FanOutTask::new(u64::from(node_id.0), move || {
+                group
+                    .into_iter()
+                    .map(|(index, key, ())| {
+                        node.get_document(&db, &table, &key).map(|doc| (index, doc))
+                    })
+                    .collect()
+            }));
+        }
+        self.run_grouped(tasks, total)
+    }
+
+    /// PUT many documents in one routed request — the streaming
+    /// population loader's batched write path. Same grouping and
+    /// execution as [`Self::multi_get`]; returns the new etags in input
+    /// order. Documents for *different* master nodes land independently
+    /// (no cross-node transaction — a failed sub-batch fails the call,
+    /// but sub-batches that already applied stay applied, exactly like
+    /// issuing the PUTs singly).
+    pub fn multi_put(
+        &self,
+        db: &str,
+        table: &str,
+        documents: Vec<(RowKey, Record)>,
+    ) -> Result<Vec<u64>, EspressoError> {
+        let total = documents.len();
+        self.metrics.requests.add(total as u64);
+        let _timer = self.metrics.request_latency.start_timer();
+        let groups = self.group_by_master(db, documents)?;
+        let mut tasks = Vec::with_capacity(groups.len());
+        for (node_id, group) in groups {
+            let node = self.node(node_id)?;
+            let db = db.to_string();
+            let table = table.to_string();
+            tasks.push(FanOutTask::new(u64::from(node_id.0), move || {
+                group
+                    .into_iter()
+                    .map(|(index, key, record)| {
+                        node.put_document(&db, &table, key, &record)
+                            .map(|etag| (index, etag))
+                    })
+                    .collect()
+            }));
+        }
+        self.run_grouped(tasks, total)
+    }
+
     /// GET a collection resource.
     pub fn get_collection(
         &self,
@@ -522,5 +686,136 @@ impl li_commons::chaos::FaultHooks for EspressoCluster {
 
     fn restart(&self, node: NodeId) {
         let _ = self.restart_node(node);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{DatabaseSchema, TableSchema};
+    use li_commons::schema::{Field, FieldType, RecordSchema, Value};
+
+    const DB: &str = "Profiles";
+
+    fn cluster_with_db(nodes: u16) -> Arc<EspressoCluster> {
+        let schema = DatabaseSchema::new(DB, 8, 2)
+            .with_table(
+                TableSchema::new("Profile", ["member"]),
+                RecordSchema::new(
+                    "Profile",
+                    1,
+                    vec![Field::new("text", FieldType::Str)],
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        let cluster = EspressoCluster::new(nodes).unwrap();
+        cluster.create_database(schema).unwrap();
+        cluster
+    }
+
+    fn profile(text: &str) -> Record {
+        Record::new().with("text", Value::Str(text.into()))
+    }
+
+    fn seed_members(cluster: &EspressoCluster, count: u64) -> Vec<RowKey> {
+        (0..count)
+            .map(|m| {
+                let key = RowKey::new([format!("member-{m}").as_str()]);
+                cluster
+                    .put(DB, "Profile", key.clone(), &profile(&format!("text {m}")))
+                    .unwrap();
+                key
+            })
+            .collect()
+    }
+
+    #[test]
+    fn multi_get_matches_singleton_gets_in_input_order() {
+        for mode in [FanOutMode::Deterministic, FanOutMode::Parallel] {
+            let cluster = cluster_with_db(3);
+            cluster.set_fan_out_mode(mode);
+            let keys = seed_members(&cluster, 40);
+            // Shuffle-ish order plus a miss in the middle.
+            let mut request: Vec<RowKey> = keys.iter().rev().cloned().collect();
+            request.insert(7, RowKey::new(["member-nope"]));
+            let batched = cluster.multi_get(DB, "Profile", request.clone()).unwrap();
+            assert_eq!(batched.len(), request.len());
+            for (key, got) in request.iter().zip(&batched) {
+                let single = cluster.get(DB, "Profile", key).unwrap();
+                assert_eq!(
+                    single.as_ref().map(|(r, _)| r),
+                    got.as_ref().map(|(r, _)| r),
+                    "mode {mode:?}, key {key:?}"
+                );
+            }
+            assert!(batched[7].is_none());
+        }
+    }
+
+    #[test]
+    fn multi_put_lands_documents_and_returns_etags_in_input_order() {
+        for mode in [FanOutMode::Deterministic, FanOutMode::Parallel] {
+            let cluster = cluster_with_db(3);
+            cluster.set_fan_out_mode(mode);
+            let documents: Vec<(RowKey, Record)> = (0..30)
+                .map(|m| {
+                    (
+                        RowKey::new([format!("member-{m}").as_str()]),
+                        profile(&format!("bulk {m}")),
+                    )
+                })
+                .collect();
+            let etags = cluster.multi_put(DB, "Profile", documents.clone()).unwrap();
+            assert_eq!(etags.len(), documents.len());
+            for ((key, record), etag) in documents.iter().zip(&etags) {
+                let (got, row) = cluster.get(DB, "Profile", key).unwrap().unwrap();
+                assert_eq!(&got, record);
+                assert_eq!(row.etag, *etag, "etag mismatch for {key:?} in {mode:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn multi_key_request_accounting_is_batch_size_invariant() {
+        let singly = cluster_with_db(3);
+        seed_members(&singly, 24);
+        let batched = cluster_with_db(3);
+        batched
+            .multi_put(
+                DB,
+                "Profile",
+                (0..24)
+                    .map(|m| {
+                        (
+                            RowKey::new([format!("member-{m}").as_str()]),
+                            profile(&format!("text {m}")),
+                        )
+                    })
+                    .collect(),
+            )
+            .unwrap();
+        let requests = |cluster: &EspressoCluster| {
+            cluster
+                .metrics()
+                .snapshot()
+                .counter("espresso.router.requests")
+                .unwrap()
+        };
+        assert_eq!(requests(&singly), requests(&batched));
+    }
+
+    #[test]
+    fn deterministic_multi_key_requests_spawn_no_pool() {
+        let cluster = cluster_with_db(2);
+        seed_members(&cluster, 10);
+        let keys: Vec<RowKey> = (0..10)
+            .map(|m| RowKey::new([format!("member-{m}").as_str()]))
+            .collect();
+        cluster.multi_get(DB, "Profile", keys).unwrap();
+        assert!(
+            cluster.fan_out_pool.read().is_none(),
+            "Deterministic mode must not lazily create the fan-out pool"
+        );
     }
 }

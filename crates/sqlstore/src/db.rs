@@ -358,6 +358,12 @@ impl Database {
                     return Err(e.into());
                 }
             }
+            // Publish the high-water gauge while still holding the commit
+            // point: published after the lock, two stripe-disjoint commits
+            // can land their `set`s out of SCN order and leave the gauge
+            // permanently one behind — which reads as a phantom lag
+            // against the relay's (ship-order-serialized) newest_scn.
+            self.metrics.last_scn.set(scn as i64);
             entry
         };
 
@@ -379,7 +385,6 @@ impl Database {
         drop(guards);
 
         self.metrics.commits.inc();
-        self.metrics.last_scn.set(entry.scn as i64);
         for trigger in self.triggers.lock().iter() {
             trigger(&entry);
         }
@@ -570,6 +575,22 @@ impl Database {
     /// key order, so deterministic and parallel instances holding the
     /// same data produce the same fingerprint.
     pub fn state_fingerprint(&self) -> u64 {
+        self.fingerprint(true)
+    }
+
+    /// Timestamp-insensitive variant of [`Self::state_fingerprint`]:
+    /// hashes table names, keys, row values, schema versions, and etags
+    /// but skips the wall-clock commit timestamps. Since the etag is the
+    /// commit SCN, two databases match iff they executed the same logical
+    /// commit stream — possibly at different wall times, which is exactly
+    /// the comparison the streaming-vs-bulk population loader equivalence
+    /// needs (two separately-built instances can never agree on
+    /// `RealClock` readings).
+    pub fn logical_fingerprint(&self) -> u64 {
+        self.fingerprint(false)
+    }
+
+    fn fingerprint(&self, include_timestamps: bool) -> u64 {
         let names = self.table_names();
         let guards = self.rows.lock_all();
         let mut bytes = Vec::new();
@@ -591,7 +612,9 @@ impl Database {
                 bytes.extend_from_slice(&row.value);
                 bytes.extend_from_slice(&row.schema_version.to_le_bytes());
                 bytes.extend_from_slice(&row.etag.to_le_bytes());
-                bytes.extend_from_slice(&row.timestamp.to_le_bytes());
+                if include_timestamps {
+                    bytes.extend_from_slice(&row.timestamp.to_le_bytes());
+                }
             }
         }
         li_commons::fnv::fnv1a(&bytes)

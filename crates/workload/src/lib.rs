@@ -33,5 +33,7 @@ pub mod site;
 pub mod zipf;
 
 pub use driver::{MixedWorkload, Operation};
-pub use site::{SiteGraph, SiteGraphConfig, SiteMix, SiteOp, SiteWorkload};
+pub use site::{
+    SiteChunk, SiteGraph, SiteGraphChunks, SiteGraphConfig, SiteMix, SiteOp, SiteWorkload,
+};
 pub use zipf::Zipfian;

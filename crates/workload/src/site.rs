@@ -90,49 +90,184 @@ pub struct SiteGraph {
     pymk: Vec<PymkRecord>,
 }
 
-impl SiteGraph {
-    /// Generates the population. Pure function of `config` (including its
-    /// seed): one RNG per member, derived via [`split_seed`].
-    pub fn generate(config: &SiteGraphConfig) -> SiteGraph {
+/// One contiguous batch of generated members: the unit the streaming
+/// loader moves between the generator thread and the platform-seeding
+/// loader. Row `i` of every vector describes member `first_member + i`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SiteChunk {
+    /// Id of the first member in this chunk.
+    pub first_member: u64,
+    /// Per member: followed company ids, sorted and deduplicated.
+    pub follows: Vec<Vec<u64>>,
+    /// Per member: profile text.
+    pub profiles: Vec<String>,
+    /// Per member: the PYMK record.
+    pub pymk: Vec<PymkRecord>,
+}
+
+impl SiteChunk {
+    /// Members in this chunk.
+    pub fn len(&self) -> usize {
+        self.profiles.len()
+    }
+
+    /// True when the chunk holds no members.
+    pub fn is_empty(&self) -> bool {
+        self.profiles.is_empty()
+    }
+
+    /// Iterates `(member_id, follows, profile, pymk)` rows.
+    pub fn rows(&self) -> impl Iterator<Item = (u64, &Vec<u64>, &str, &PymkRecord)> {
+        (0..self.len()).map(move |i| {
+            (
+                self.first_member + i as u64,
+                &self.follows[i],
+                self.profiles[i].as_str(),
+                &self.pymk[i],
+            )
+        })
+    }
+}
+
+/// Streaming population generator: yields the same members as
+/// [`SiteGraph::generate`] — byte for byte, in member order — but in
+/// bounded [`SiteChunk`]s produced on demand, so a million-member
+/// population never has to be materialized before the first batch can be
+/// loaded. Because each member derives its own RNG via [`split_seed`],
+/// the chunking is invisible: any chunk size produces the identical
+/// population (proptest-pinned in `tests/site_graph_props.rs`).
+#[derive(Debug, Clone)]
+pub struct SiteGraphChunks {
+    config: SiteGraphConfig,
+    degree_zipf: Zipfian,
+    company_zipf: Zipfian,
+    next_member: u64,
+    chunk_members: usize,
+}
+
+impl SiteGraphChunks {
+    /// A chunked generator over `config`'s population, `chunk_members`
+    /// members per chunk (clamped to at least 1).
+    pub fn new(config: &SiteGraphConfig, chunk_members: usize) -> Self {
         assert!(config.members > 0, "empty member population");
         assert!(config.companies > 0, "empty company population");
-        let degree_zipf = Zipfian::ycsb(config.members);
-        let company_zipf = Zipfian::ycsb(config.companies);
+        SiteGraphChunks {
+            config: config.clone(),
+            degree_zipf: Zipfian::ycsb(config.members),
+            company_zipf: Zipfian::ycsb(config.companies),
+            next_member: 0,
+            chunk_members: chunk_members.max(1),
+        }
+    }
+
+    /// Total chunks this generator will yield.
+    pub fn chunk_count(&self) -> usize {
+        (self.config.members as usize).div_ceil(self.chunk_members)
+    }
+
+    /// Generates one member. Pure function of `(config, member)`.
+    fn generate_member(&self, member: u64) -> (Vec<u64>, String, PymkRecord) {
+        let config = &self.config;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(split_seed(config.seed, member));
+        // Degree: a Zipf-distributed list size (power-law out-degree),
+        // capped by the company space.
+        let cap = config.max_follows.min(config.companies as usize);
+        let degree = zipf_size(&self.degree_zipf, &mut rng, cap);
+        // Targets: Zipfian company popularity — hot companies collect
+        // follower lists orders of magnitude longer than the tail.
+        let mut list = std::collections::BTreeSet::new();
+        let mut attempts = 0;
+        while list.len() < degree && attempts < degree * 8 {
+            list.insert(self.company_zipf.sample(&mut rng));
+            attempts += 1;
+        }
+        let follows: Vec<u64> = list.into_iter().collect();
+
+        let words: Vec<&str> = (0..4)
+            .map(|_| PROFILE_WORDS[rng.random_range(0..PROFILE_WORDS.len() as u64) as usize])
+            .collect();
+        let profile = format!("member {member} {}", words.join(" "));
+
+        let mut recommendations: Vec<(u64, f32)> = (0..config.recs_per_member)
+            .map(|_| (rng.random_range(0..config.members), rng.random::<f32>()))
+            .collect();
+        recommendations
+            .sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        (
+            follows,
+            profile,
+            PymkRecord {
+                member,
+                recommendations,
+            },
+        )
+    }
+}
+
+impl Iterator for SiteGraphChunks {
+    type Item = SiteChunk;
+
+    fn next(&mut self) -> Option<SiteChunk> {
+        if self.next_member >= self.config.members {
+            return None;
+        }
+        let first_member = self.next_member;
+        let end = (first_member + self.chunk_members as u64).min(self.config.members);
+        let count = (end - first_member) as usize;
+        let mut chunk = SiteChunk {
+            first_member,
+            follows: Vec::with_capacity(count),
+            profiles: Vec::with_capacity(count),
+            pymk: Vec::with_capacity(count),
+        };
+        for member in first_member..end {
+            let (follows, profile, pymk) = self.generate_member(member);
+            chunk.follows.push(follows);
+            chunk.profiles.push(profile);
+            chunk.pymk.push(pymk);
+        }
+        self.next_member = end;
+        Some(chunk)
+    }
+}
+
+impl SiteGraph {
+    /// Generates the population. Pure function of `config` (including its
+    /// seed): one RNG per member, derived via [`split_seed`]. Implemented
+    /// over the chunked generator, so the bulk and streaming paths cannot
+    /// drift apart.
+    pub fn generate(config: &SiteGraphConfig) -> SiteGraph {
+        Self::from_chunks(
+            config,
+            SiteGraphChunks::new(config, config.members.max(1) as usize),
+        )
+    }
+
+    /// Assembles a graph from generated chunks (they must arrive in member
+    /// order and cover the whole population — the streaming loader's
+    /// accumulation path).
+    pub fn from_chunks(
+        config: &SiteGraphConfig,
+        chunks: impl IntoIterator<Item = SiteChunk>,
+    ) -> SiteGraph {
         let mut follows = Vec::with_capacity(config.members as usize);
         let mut profiles = Vec::with_capacity(config.members as usize);
         let mut pymk = Vec::with_capacity(config.members as usize);
-        for member in 0..config.members {
-            let mut rng =
-                rand::rngs::StdRng::seed_from_u64(split_seed(config.seed, member));
-            // Degree: a Zipf-distributed list size (power-law out-degree),
-            // capped by the company space.
-            let cap = config.max_follows.min(config.companies as usize);
-            let degree = zipf_size(&degree_zipf, &mut rng, cap);
-            // Targets: Zipfian company popularity — hot companies collect
-            // follower lists orders of magnitude longer than the tail.
-            let mut list = std::collections::BTreeSet::new();
-            let mut attempts = 0;
-            while list.len() < degree && attempts < degree * 8 {
-                list.insert(company_zipf.sample(&mut rng));
-                attempts += 1;
-            }
-            follows.push(list.into_iter().collect());
-
-            let words: Vec<&str> = (0..4)
-                .map(|_| PROFILE_WORDS[rng.random_range(0..PROFILE_WORDS.len() as u64) as usize])
-                .collect();
-            profiles.push(format!("member {member} {}", words.join(" ")));
-
-            let mut recommendations: Vec<(u64, f32)> = (0..config.recs_per_member)
-                .map(|_| (rng.random_range(0..config.members), rng.random::<f32>()))
-                .collect();
-            recommendations
-                .sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
-            pymk.push(PymkRecord {
-                member,
-                recommendations,
-            });
+        for chunk in chunks {
+            assert_eq!(
+                chunk.first_member,
+                follows.len() as u64,
+                "chunks must arrive in member order, gap-free"
+            );
+            follows.extend(chunk.follows);
+            profiles.extend(chunk.profiles);
+            pymk.extend(chunk.pymk);
         }
+        assert_eq!(
+            follows.len() as u64,
+            config.members,
+            "chunks must cover the whole population"
+        );
         SiteGraph {
             config: config.clone(),
             follows,
@@ -405,6 +540,39 @@ mod tests {
         assert_eq!(a, b);
         let c = SiteGraph::generate(&SiteGraphConfig::smoke(300, 8));
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn chunked_generation_matches_bulk_at_any_chunk_size() {
+        let config = SiteGraphConfig::smoke(317, 11);
+        let bulk = SiteGraph::generate(&config);
+        for chunk_members in [1usize, 2, 7, 64, 317, 1000] {
+            let chunks = SiteGraphChunks::new(&config, chunk_members);
+            let streamed = SiteGraph::from_chunks(&config, chunks);
+            assert_eq!(bulk, streamed, "chunk size {chunk_members} diverged");
+        }
+    }
+
+    #[test]
+    fn chunk_rows_cover_the_population_in_order() {
+        let config = SiteGraphConfig::smoke(100, 4);
+        let mut seen = 0u64;
+        let mut total_chunks = 0usize;
+        let chunks = SiteGraphChunks::new(&config, 13);
+        assert_eq!(chunks.chunk_count(), 8);
+        for chunk in chunks {
+            assert!(chunk.len() <= 13 && !chunk.is_empty());
+            for (member, follows, profile, pymk) in chunk.rows() {
+                assert_eq!(member, seen);
+                assert_eq!(pymk.member, member);
+                assert!(profile.starts_with(&format!("member {member} ")));
+                assert!(follows.windows(2).all(|w| w[0] < w[1]));
+                seen += 1;
+            }
+            total_chunks += 1;
+        }
+        assert_eq!(seen, config.members);
+        assert_eq!(total_chunks, 8);
     }
 
     #[test]

@@ -74,6 +74,25 @@ SITE_SMOKE_DRIVERS=8 \
 SITE_SMOKE_OPS="${SITE_SMOKE_OPS:-600}" \
   timeout 300 cargo test -q --test site_scale site_smoke_clears_all_slo_gates
 
+echo "== M:N site smoke: 128 logical drivers on 4 scheduler workers (5 min budget) =="
+# Far more logical drivers than OS threads: the M:N scheduler multiplexes
+# 128 resumable closed-loop drivers onto 4 pool workers, quantum by
+# quantum. Exercises the requeue/park paths under real contention; a
+# scheduler that loses a driver or starves the FIFO fails the
+# every-op-acked assertion or trips the tripwire timeout.
+SITE_SMOKE_MEMBERS="${SITE_SMOKE_MEMBERS:-3000}" \
+SITE_SMOKE_DRIVERS=128 \
+SITE_SMOKE_WORKERS=4 \
+SITE_SMOKE_OPS=40 \
+  timeout 300 cargo test -q --test site_scale site_smoke_clears_all_slo_gates
+
+echo "== site loader proptests: streaming == bulk prepare (default cases) =="
+# The chunk-invariance contract the pipelined prepare rides on: the
+# streaming loader must land the byte-identical primary commit stream
+# and router accounting as the bulk path at any chunk size, in both
+# shard modes.
+cargo test -q --test site_loader_props
+
 echo "== site smoke with migration in flight: online resharding mid-load (5 min budget) =="
 # The closed loop with two Voldemort partitions plus an Espresso profile
 # partition migrating off node 0 while the drivers run. Every SLO and

@@ -7,7 +7,7 @@
 //! Case count is tunable with `SITE_GRAPH_PROPTEST_CASES` (the vendored
 //! proptest has no env support of its own).
 
-use li_workload::site::{SiteGraph, SiteGraphConfig, SiteMix, SiteOp, SiteWorkload};
+use li_workload::site::{SiteGraph, SiteGraphChunks, SiteGraphConfig, SiteMix, SiteOp, SiteWorkload};
 use proptest::prelude::*;
 
 fn graph_cases() -> ProptestConfig {
@@ -82,6 +82,31 @@ proptest! {
         let share = head as f64 / total as f64;
         prop_assert!(share > 0.35,
             "top decile holds only {share:.2} of edges (uniform share would be 0.10)");
+    }
+
+    /// Streaming generator equivalence: chunked generation at *any* chunk
+    /// size reassembles into exactly the bulk graph. This is the contract
+    /// the pipelined `SiteBench::prepare` rides on — the population a
+    /// million-member run streams in must be the same population the
+    /// small-scale deterministic smoke materializes at once.
+    #[test]
+    fn chunked_generation_is_chunk_size_invariant(
+        config in arb_config(),
+        chunk_members in 1usize..500,
+    ) {
+        let bulk = SiteGraph::generate(&config);
+        let chunks = SiteGraphChunks::new(&config, chunk_members);
+        let mut yielded = 0u64;
+        let mut collected = Vec::new();
+        for chunk in chunks {
+            prop_assert_eq!(chunk.first_member, yielded);
+            prop_assert!(chunk.len() <= chunk_members);
+            yielded += chunk.len() as u64;
+            collected.push(chunk);
+        }
+        prop_assert_eq!(yielded, config.members);
+        let streamed = SiteGraph::from_chunks(&config, collected);
+        prop_assert_eq!(&bulk, &streamed);
     }
 
     /// Per-driver op streams: deterministic per (seed, driver), mutually

@@ -5,7 +5,10 @@
 //! conservation — deterministically under a fixed seed.
 //!
 //! Population size and load are tunable from CI without editing the test:
-//! `SITE_SMOKE_MEMBERS`, `SITE_SMOKE_DRIVERS`, `SITE_SMOKE_OPS`.
+//! `SITE_SMOKE_MEMBERS`, `SITE_SMOKE_DRIVERS`, `SITE_SMOKE_OPS`, and
+//! `SITE_SMOKE_WORKERS` (OS workers the M:N scheduler multiplexes the
+//! logical drivers onto; `0` keeps the default bound, letting CI run
+//! e.g. 128 logical drivers on a handful of threads).
 
 use linkedin_data_infra::{PlatformConfig, SiteBench, SiteBenchConfig};
 
@@ -22,7 +25,9 @@ fn smoke_config() -> SiteBenchConfig {
     let members = env_u64("SITE_SMOKE_MEMBERS", 1500);
     let drivers = env_u64("SITE_SMOKE_DRIVERS", 3) as usize;
     let ops = env_u64("SITE_SMOKE_OPS", 400) as usize;
+    let workers = env_u64("SITE_SMOKE_WORKERS", 0) as usize;
     let mut config = SiteBenchConfig::smoke(members, drivers, ops, SEED);
+    config.workers = workers;
     config.platform = PlatformConfig {
         voldemort_nodes: 3,
         kafka_brokers: 2,
