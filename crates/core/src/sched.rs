@@ -45,8 +45,9 @@ struct SchedShared<S> {
 
 /// Runs every state machine to completion across the pool's workers,
 /// one quantum at a time. Returns the machines in their original order.
-/// A machine that panics mid-step poisons nothing — the pool contains
-/// the panic — but its slot comes back `None`, which this function
+/// A machine that panics mid-step poisons nothing — [`worker_loop`]
+/// contains the panic and still counts the machine finished, so the
+/// pool drains — but its slot comes back `None`, which this function
 /// surfaces by panicking with the count of lost drivers (a benchmark
 /// must never silently drop load).
 pub fn run_on_pool<S: Resumable + 'static>(pool: &FanOutPool, states: Vec<S>) -> Vec<S> {
@@ -88,16 +89,36 @@ fn worker_loop<S: Resumable>(shared: &SchedShared<S>) {
                 shared.wake.wait(&mut runnable);
             }
         };
-        if state.step() {
-            shared.finished.lock()[index] = Some(state);
-            if shared.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
-                // Last machine done: release every parked worker.
-                shared.wake.notify_all();
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| state.step())) {
+            Ok(false) => {
+                shared.runnable.lock().push_back((index, state));
+                shared.wake.notify_one();
             }
-        } else {
-            shared.runnable.lock().push_back((index, state));
-            shared.wake.notify_one();
+            Ok(true) => {
+                shared.finished.lock()[index] = Some(state);
+                finish_one(shared);
+            }
+            Err(_) => {
+                // The machine is lost to the panic: its slot stays `None`,
+                // which `run_on_pool` turns into the lost-driver panic
+                // once the pool drains. It still counts as finished here —
+                // otherwise `remaining` never reaches 0 and every other
+                // worker parks forever behind the corpse.
+                finish_one(shared);
+            }
         }
+    }
+}
+
+/// Marks one machine finished. The final decrement takes the `runnable`
+/// lock before notifying: workers check `remaining` and park while
+/// holding that lock, so serializing the wake on it closes the window
+/// where the notify fires between a worker's check and its wait (a
+/// lost wakeup that would park the worker — and `wait_idle` — forever).
+fn finish_one<S>(shared: &SchedShared<S>) {
+    if shared.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+        let _runnable = shared.runnable.lock();
+        shared.wake.notify_all();
     }
 }
 
@@ -185,5 +206,58 @@ mod tests {
         let pool = FanOutPool::new(2);
         let done: Vec<CountTo> = run_on_pool(&pool, Vec::new());
         assert!(done.is_empty());
+    }
+
+    #[test]
+    fn termination_with_more_workers_than_machines_never_hangs() {
+        // Most workers spend the whole run parked on the condvar; the
+        // final finish must wake every one of them (the lost-wakeup race
+        // lived exactly here: notify firing between a parked worker's
+        // `remaining` check and its wait). Iterate to give the race room.
+        let pool = FanOutPool::new(8);
+        for _ in 0..200 {
+            let log = Arc::new(Mutex::new(Vec::new()));
+            let done = run_on_pool(&pool, machines(2, &log));
+            assert_eq!(done.len(), 2);
+        }
+    }
+
+    enum Trip {
+        Counts(CountTo),
+        Panics,
+    }
+
+    impl Resumable for Trip {
+        fn step(&mut self) -> bool {
+            match self {
+                Trip::Counts(m) => m.step(),
+                Trip::Panics => panic!("driver tripped mid-quantum"),
+            }
+        }
+    }
+
+    #[test]
+    fn panicking_step_drains_the_pool_and_reports_the_lost_driver() {
+        let pool = FanOutPool::new(3);
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let mut states: Vec<Trip> = machines(5, &log).into_iter().map(Trip::Counts).collect();
+        states.insert(2, Trip::Panics);
+        // The panicked machine must not wedge the others: the pool drains
+        // and run_on_pool raises the lost-driver panic instead of hanging.
+        let result =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_on_pool(&pool, states)));
+        let Err(payload) = result else {
+            panic!("a lost driver must not pass silently");
+        };
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_string()))
+            .unwrap_or_default();
+        assert!(msg.contains("1 driver(s) lost"), "unexpected panic: {msg}");
+        // The surviving machines all ran to completion before the report.
+        let quanta = log.lock().len() as u64;
+        let expected: u64 = (0..5).map(|id| (40 + id + 6) / 7).sum();
+        assert_eq!(quanta, expected, "survivors must finish despite the panic");
     }
 }

@@ -733,6 +733,7 @@ impl SiteBench {
                 tier_counters: tier_counters.clone(),
                 attempted: Arc::clone(&attempted),
                 acked: Arc::clone(&acked),
+                activity_accepted: 0,
             })
             .collect();
         // Live resharding under traffic: the configured partition moves
@@ -841,12 +842,18 @@ impl SiteBench {
                 .unwrap_or(i64::MAX);
             max_consumer_lag = max_consumer_lag.max(lag);
         }
+        // `site.activity.ok` counts messages that actually reached a
+        // broker (drivers settle their batch buffers at end-of-stream),
+        // so consumed == acked alone would hold even after a failed
+        // flush dropped accepted sends — those land on the error
+        // counter, which must therefore gate too.
         let activity_acked = snapshot.counter("site.activity.ok").unwrap_or(0);
+        let activity_errors = snapshot.counter("site.activity.err").unwrap_or(0);
         gates.push(GateResult {
             name: "kafka.lag_drains".into(),
-            passed: max_consumer_lag == 0 && consumed == activity_acked,
+            passed: max_consumer_lag == 0 && consumed == activity_acked && activity_errors == 0,
             detail: format!(
-                "max partition lag {max_consumer_lag}; consumed {consumed} vs acked {activity_acked}"
+                "max partition lag {max_consumer_lag}; consumed {consumed} vs acked {activity_acked}; activity errors {activity_errors}"
             ),
         });
         let warehouse_rows = platform.warehouse_rows() as u64;
@@ -918,6 +925,10 @@ struct DriverState {
     tier_counters: BTreeMap<&'static str, (Counter, Counter)>,
     attempted: Arc<AtomicU64>,
     acked: Arc<AtomicU64>,
+    /// Activity sends the batching producer accepted (buffered or
+    /// published). Settled against the producer's published-message
+    /// count at end-of-stream — see [`Resumable::step`].
+    activity_accepted: u64,
 }
 
 impl DriverState {
@@ -952,7 +963,15 @@ impl DriverState {
         match outcome {
             Ok(()) => {
                 self.acked.fetch_add(1, Ordering::Relaxed);
-                ok.inc();
+                // An accepted activity send may still be sitting in the
+                // producer's batch buffer; its ok is provisional until the
+                // end-of-stream settlement confirms the payload actually
+                // reached a broker. Every other tier acks synchronously.
+                if matches!(op, SiteOp::Activity { .. }) {
+                    self.activity_accepted += 1;
+                } else {
+                    ok.inc();
+                }
             }
             Err(_) => err.inc(),
         }
@@ -996,11 +1015,23 @@ impl Resumable for DriverState {
             return false;
         }
         // Stream exhausted: push out any activity sends still buffered by
-        // the batching producer. A flush failure here is a lost-write
-        // signal — it lands on the activity error counter and the
-        // conservation gates catch the shortfall.
-        if self.producer.flush().is_err() {
-            self.tier_counters["activity"].1.inc();
+        // the batching producer, then settle the activity ledger per
+        // message. `stats().messages` counts only payloads that actually
+        // reached a broker (a failed publish drops its whole batch before
+        // the stats update), so crediting ok from it — and moving every
+        // accepted-but-unpublished payload to the error counter and out
+        // of ops_acked — keeps the attempted/acked/err arithmetic exact
+        // even when a flush fails with a dozen already-accepted sends
+        // buffered. The flush error itself needs no separate count: each
+        // lost payload is accounted individually below.
+        let _ = self.producer.flush();
+        let published = self.producer.stats().messages;
+        let (ok, err) = &self.tier_counters["activity"];
+        ok.add(published);
+        let lost = self.activity_accepted.saturating_sub(published);
+        if lost > 0 {
+            err.add(lost);
+            self.acked.fetch_sub(lost, Ordering::Relaxed);
         }
         true
     }
